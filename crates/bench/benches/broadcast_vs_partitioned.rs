@@ -1,0 +1,55 @@
+//! Join-strategy ablation from §II: broadcast indexed join (what both
+//! of the paper's systems implement) vs the spatially partitioned join
+//! (what SpatialHadoop/HadoopGIS do). Broadcast wins while the right
+//! side is small enough to replicate; partitioning amortises as it
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::engine::{PreparedEngine, SpatialPredicate};
+use spatialjoin::join::{broadcast_index_join, partitioned_join};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let points: Vec<(i64, geom::Point)> = datagen::taxi::points(20_000, 42)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as i64, p))
+        .collect();
+
+    for right_n in [500usize, 5_000, 40_000] {
+        let polys: Vec<(i64, geom::Geometry)> = datagen::nycb::geometries(right_n, 42)
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| (i as i64, g))
+            .collect();
+        let mut group = c.benchmark_group(format!("join-strategy/right-{right_n}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("broadcast"), |b| {
+            b.iter(|| {
+                broadcast_index_join(
+                    black_box(&points),
+                    black_box(&polys),
+                    SpatialPredicate::Within,
+                    &PreparedEngine,
+                )
+                .len()
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("partitioned"), |b| {
+            b.iter(|| {
+                partitioned_join(
+                    black_box(&points),
+                    black_box(&polys),
+                    SpatialPredicate::Within,
+                    &PreparedEngine,
+                    2_000,
+                )
+                .len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

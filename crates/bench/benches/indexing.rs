@@ -1,0 +1,99 @@
+//! Indexing ablation: STR bulk load vs one-at-a-time insertion, and
+//! query cost of R-tree vs grid vs linear scan — why both systems in
+//! the paper bulk-build a broadcast R-tree for filtering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::{Envelope, HasEnvelope};
+use rtree::{DynamicRTree, GridIndex, RTree};
+use std::hint::black_box;
+
+fn entries(n: usize) -> Vec<(Envelope, u32)> {
+    datagen::lion::polylines(n, 42)
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.envelope(), i as u32))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index-build");
+    for n in [1_000usize, 10_000] {
+        let data = entries(n);
+        group.bench_with_input(BenchmarkId::new("str-bulk-load", n), &data, |b, data| {
+            b.iter(|| RTree::bulk_load_entries(black_box(data.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic-insert", n), &data, |b, data| {
+            b.iter(|| {
+                let mut t = DynamicRTree::new();
+                for &(e, i) in data {
+                    t.insert_entry(e, i);
+                }
+                t
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid-build", n), &data, |b, data| {
+            b.iter(|| GridIndex::build(datagen::NYC_EXTENT, 64, 64, black_box(data.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let data = entries(20_000);
+    let str_tree = RTree::bulk_load_entries(data.clone());
+    let mut dyn_tree = DynamicRTree::new();
+    for &(e, i) in &data {
+        dyn_tree.insert_entry(e, i);
+    }
+    let grid = GridIndex::build(datagen::NYC_EXTENT, 64, 64, data.clone());
+    let probes: Vec<Envelope> = datagen::taxi::points(500, 7)
+        .into_iter()
+        .map(|p| Envelope::of_point(p).expanded_by(500.0))
+        .collect();
+
+    let mut group = c.benchmark_group("index-query/20k-streets-500ft");
+    group.bench_function("str-rtree", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &probes {
+                str_tree.for_each_intersecting(q, |_| hits += 1);
+            }
+            hits
+        })
+    });
+    group.bench_function("dynamic-rtree", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &probes {
+                dyn_tree.for_each_intersecting(q, |_| hits += 1);
+            }
+            hits
+        })
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &probes {
+                grid.for_each_intersecting(q, |_| hits += 1);
+            }
+            hits
+        })
+    });
+    group.bench_function("linear-scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &probes {
+                for (e, _) in &data {
+                    if e.intersects(q) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

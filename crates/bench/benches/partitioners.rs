@@ -1,0 +1,69 @@
+//! Partitioner ablation: how the three space-decomposition strategies
+//! (fixed grid, STR, quadtree) balance a skewed point set — the load
+//! balance of a partitioned join is bounded by the quality of its
+//! partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::Point;
+use rtree::{FixedGridPartitioner, QuadTreePartitioner, SpatialPartitioner, StrPartitioner};
+use std::hint::black_box;
+
+fn report_balance<P: SpatialPartitioner>(name: &str, p: &P, pts: &[Point]) {
+    let mut counts = vec![0usize; p.num_cells()];
+    for &pt in pts {
+        if let Some(c) = p.cell_of(pt) {
+            counts[c] += 1;
+        }
+    }
+    let max = counts.iter().max().copied().unwrap_or(0);
+    let avg = pts.len() / counts.len().max(1);
+    eprintln!(
+        "#   {name:<12} {:>5} cells, max/avg occupancy = {:.1}",
+        p.num_cells(),
+        max as f64 / avg.max(1) as f64
+    );
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let pts = datagen::taxi::points(100_000, 42);
+    let extent = datagen::NYC_EXTENT;
+    let sample: Vec<Point> = pts.iter().step_by(10).copied().collect();
+
+    // Build cost.
+    let mut group = c.benchmark_group("partitioner-build/64-cells");
+    group.bench_function(BenchmarkId::from_parameter("fixed-grid"), |b| {
+        b.iter(|| FixedGridPartitioner::new(black_box(extent), 8, 8))
+    });
+    group.bench_function(BenchmarkId::from_parameter("str"), |b| {
+        b.iter(|| StrPartitioner::build(black_box(extent), &sample, 64))
+    });
+    group.bench_function(BenchmarkId::from_parameter("quadtree"), |b| {
+        b.iter(|| QuadTreePartitioner::build(black_box(extent), &sample, sample.len() / 64, 10))
+    });
+    group.finish();
+
+    // Routing cost.
+    let grid = FixedGridPartitioner::new(extent, 8, 8);
+    let str_p = StrPartitioner::build(extent, &sample, 64);
+    let qt = QuadTreePartitioner::build(extent, &sample, sample.len() / 64, 10);
+    let mut group = c.benchmark_group("partitioner-route/100k-points");
+    group.bench_function(BenchmarkId::from_parameter("fixed-grid"), |b| {
+        b.iter(|| pts.iter().filter_map(|&p| grid.cell_of(p)).count())
+    });
+    group.bench_function(BenchmarkId::from_parameter("str"), |b| {
+        b.iter(|| pts.iter().filter_map(|&p| str_p.cell_of(p)).count())
+    });
+    group.bench_function(BenchmarkId::from_parameter("quadtree"), |b| {
+        b.iter(|| pts.iter().filter_map(|&p| qt.cell_of(p)).count())
+    });
+    group.finish();
+
+    // The paper-relevant output: balance under skew.
+    eprintln!("# occupancy balance on skewed taxi points (lower is better):");
+    report_balance("fixed-grid", &grid, &pts);
+    report_balance("str", &str_p, &pts);
+    report_balance("quadtree", &qt, &pts);
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

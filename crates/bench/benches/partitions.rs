@@ -1,0 +1,42 @@
+//! Partition-count ablation from the end of §III: "optimizing the
+//! number of partitions … represents the tradeoffs between the degrees
+//! of parallelisms (the higher the better) and the communication
+//! overheads (the lower the better)."
+//!
+//! A fixed amount of work is split into k tasks; the replay adds
+//! Spark's per-partition metadata cost. Too few partitions starve the
+//! cores; too many drown the job in coordination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::{simulate, ClusterSpec, NetworkModel, Scheduler, TaskSpec};
+use std::hint::black_box;
+
+const TOTAL_WORK: f64 = 400.0; // CPU-seconds to distribute
+
+fn runtime_with_partitions(k: usize, spec: &ClusterSpec, net: &NetworkModel) -> f64 {
+    let tasks: Vec<TaskSpec> = (0..k)
+        .map(|_| TaskSpec::of_cost(TOTAL_WORK / k as f64))
+        .collect();
+    net.stage_coordination_cost(k) + simulate(&tasks, spec, Scheduler::Dynamic).makespan
+}
+
+fn bench_partition_sweep(c: &mut Criterion) {
+    let spec = ClusterSpec::ec2_paper_cluster();
+    let net = NetworkModel::ec2_spark();
+    let mut group = c.benchmark_group("partition-count");
+    for k in [10usize, 80, 320, 1280, 5120, 20480] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| runtime_with_partitions(black_box(k), &spec, &net))
+        });
+    }
+    group.finish();
+
+    // Print the tradeoff curve itself (the paper-relevant output).
+    eprintln!("# partitions -> simulated stage runtime (400 CPU-s on 80 cores):");
+    for k in [10usize, 40, 80, 160, 320, 1280, 5120, 20480, 81920] {
+        eprintln!("#   {k:>6} partitions: {:.2}s", runtime_with_partitions(k, &spec, &net));
+    }
+}
+
+criterion_group!(benches, bench_partition_sweep);
+criterion_main!(benches);

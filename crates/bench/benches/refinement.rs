@@ -1,0 +1,72 @@
+//! Microbenchmark behind §V.B: per-call `Within` refinement cost across
+//! the three engines, on simple (nycb-like) and complex (wwf-like)
+//! polygons. The jts-like/geos-like ratio here is the root cause of
+//! every end-to-end gap in Tables 1-2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::engine::{FlatEngine, NaiveEngine, PreparedEngine, RefinementEngine};
+use geom::Point;
+use std::hint::black_box;
+
+fn bench_refinement(c: &mut Criterion) {
+    let cases = [
+        ("nycb-9v", datagen::nycb::geometries(200, 42), datagen::taxi::points(500, 42)),
+        ("wwf-279v", datagen::wwf::geometries(200, 42), {
+            // Probe near the polygons so candidates actually refine.
+            datagen::gbif::points(500, 42)
+        }),
+    ];
+    for (label, polys, points) in cases {
+        let mut group = c.benchmark_group(format!("within-refinement/{label}"));
+        // Pair every point against a pseudo-random polygon so all
+        // engines see the identical candidate stream.
+        let pairs: Vec<(Point, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, (i * 7919) % polys.len()))
+            .collect();
+
+        let fast: Vec<_> = polys.iter().map(|g| PreparedEngine.prepare(g)).collect();
+        group.bench_function(BenchmarkId::from_parameter("prepared"), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(p, ri) in &pairs {
+                    if PreparedEngine.within(black_box(p), &fast[ri]) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        let flat: Vec<_> = polys.iter().map(|g| FlatEngine.prepare(g)).collect();
+        group.bench_function(BenchmarkId::from_parameter("jts-like-flat"), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(p, ri) in &pairs {
+                    if FlatEngine.within(black_box(p), &flat[ri]) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        let naive: Vec<_> = polys.iter().map(|g| NaiveEngine.prepare(g)).collect();
+        group.bench_function(BenchmarkId::from_parameter("geos-like-naive"), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for &(p, ri) in &pairs {
+                    if NaiveEngine.within(black_box(p), &naive[ri]) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Representation ablation from §III: WKT strings (what both systems
+//! in the paper ship over HDFS) vs the binary encoding this
+//! reproduction adds as the paper's stated future work. Measures
+//! decode cost per record — the overhead every scan and probe pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::Geometry;
+use std::hint::black_box;
+
+fn bench_representation(c: &mut Criterion) {
+    let cases = [
+        ("taxi-points", datagen::taxi::geometries(5_000, 42)),
+        ("lion-polylines", datagen::lion::geometries(2_000, 42)),
+        ("wwf-polygons", datagen::wwf::geometries(100, 42)),
+    ];
+    for (label, geoms) in cases {
+        let wkt_records: Vec<String> = geoms.iter().map(geom::wkt::write).collect();
+        let bin_records: Vec<Vec<u8>> = geoms.iter().map(geom::binary::encode).collect();
+        let wkt_bytes: usize = wkt_records.iter().map(String::len).sum();
+        let bin_bytes: usize = bin_records.iter().map(Vec::len).sum();
+        eprintln!(
+            "# {label}: wkt {wkt_bytes} B vs binary {bin_bytes} B ({:.2}x)",
+            wkt_bytes as f64 / bin_bytes as f64
+        );
+
+        let mut group = c.benchmark_group(format!("decode/{label}"));
+        group.bench_function(BenchmarkId::from_parameter("wkt"), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for r in &wkt_records {
+                    let g: Geometry = geom::wkt::parse(black_box(r)).unwrap();
+                    n += g.num_points();
+                }
+                n
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("binary"), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for r in &bin_records {
+                    let (g, _) = geom::binary::decode(black_box(r)).unwrap();
+                    n += g.num_points();
+                }
+                n
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("wkt-encode"), |b| {
+            b.iter(|| {
+                let mut bytes = 0usize;
+                for g in &geoms {
+                    bytes += geom::wkt::write(black_box(g)).len();
+                }
+                bytes
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_representation);
+criterion_main!(benches);

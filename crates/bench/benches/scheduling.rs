@@ -1,0 +1,54 @@
+//! Scheduling ablation behind §V.B-C: dynamic (Spark) vs static
+//! (Impala/OpenMP) scheduling on uniform and skewed task sets, in the
+//! discrete-event replay the end-to-end figures are built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::{simulate, ClusterSpec, Scheduler, TaskSpec};
+use std::hint::black_box;
+
+fn uniform(n: usize) -> Vec<TaskSpec> {
+    (0..n).map(|_| TaskSpec::of_cost(1.0)).collect()
+}
+
+/// Log-normal-ish heavy tail in contiguous runs, like a spatially
+/// sorted file with hot regions.
+fn skewed(n: usize) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| {
+            let hot = (i / 37) % 5 == 0;
+            TaskSpec::of_cost(if hot { 8.0 } else { 0.3 })
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let spec = ClusterSpec::ec2_paper_cluster();
+    for (label, tasks) in [("uniform", uniform(4096)), ("skewed", skewed(4096))] {
+        let mut group = c.benchmark_group(format!("scheduler-sim/{label}"));
+        for sched in [
+            Scheduler::Dynamic,
+            Scheduler::StaticChunked,
+            Scheduler::StaticLocality,
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(format!("{sched:?}")), |b| {
+                b.iter(|| simulate(black_box(&tasks), &spec, sched).makespan)
+            });
+        }
+        group.finish();
+    }
+
+    // Also report the *quality* difference once, as a plain comparison
+    // (criterion measures sim speed; the makespans themselves are the
+    // paper-relevant output).
+    let tasks = skewed(4096);
+    let dynamic = simulate(&tasks, &spec, Scheduler::Dynamic).makespan;
+    let static_ = simulate(&tasks, &spec, Scheduler::StaticChunked).makespan;
+    eprintln!(
+        "# skewed 4096 tasks on 10x8 cores: dynamic {dynamic:.2}s vs static {static_:.2}s \
+         ({:.2}x worse)",
+        static_ / dynamic
+    );
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

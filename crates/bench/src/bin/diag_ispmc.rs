@@ -1,0 +1,40 @@
+//! Diagnostic: decompose the ISP-MC vs standalone simulation terms for
+//! one experiment. Not a paper artifact.
+
+use bench::{build_workload, parse_args, run_ispmc_warm, Experiment};
+use cluster::{simulate, ClusterSpec, Scheduler};
+
+fn main() {
+    let (replay, threads) = parse_args();
+    let w = build_workload(replay.scale, 42);
+    let run = run_ispmc_warm(&w, Experiment::TaxiLion500, threads);
+    let m = &run.result.metrics;
+    let spec = ClusterSpec::single_node_highend();
+
+    let total: f64 = m.probe_batches.iter().map(|b| b.total()).sum();
+    let barrier_sum: f64 = m.probe_batches.iter().map(|b| b.barrier_time()).sum();
+    let concurrent = (spec.cores_per_node / m.chunks_per_batch.max(1)).max(1) as f64;
+    let flat = m.probe_tasks();
+    let chunked = simulate(&flat, &spec, Scheduler::StaticChunked);
+    let dynamic = simulate(&flat, &spec, Scheduler::Dynamic);
+
+    println!("batches={} chunks={} chunks/batch={}", m.probe_batches.len(), flat.len(), m.chunks_per_batch);
+    println!("total work                = {total:.3}s");
+    println!("ideal on 16 cores         = {:.3}s", total / 16.0);
+    println!("ISP-MC barrier sum / {concurrent} = {:.3}s", barrier_sum / concurrent);
+    println!("standalone static-chunked = {:.3}s", chunked.makespan);
+    println!("dynamic                   = {:.3}s", dynamic.makespan);
+    // Per-core load distribution under static chunking.
+    let cores = 16;
+    let n = flat.len();
+    let mut core_sums = vec![0.0f64; cores];
+    for (k, t) in flat.iter().enumerate() {
+        core_sums[(k * cores) / n] += t.cost;
+    }
+    let max = core_sums.iter().cloned().fold(0.0, f64::max);
+    let min = core_sums.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("static core sums: min={min:.3} max={max:.3}");
+    for (i, s) in core_sums.iter().enumerate() {
+        println!("  core {i:>2}: {s:.3}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Fault-tolerance ablation (extension): §III notes that "Spark
+//! provides fault tolerance through re-computing as RDDs keep track of
+//! data processing workflows", where Impala's fixed plan must restart a
+//! failed query. This harness kills one node halfway through the
+//! taxi-nycb probe stage and compares recovery strategies on the
+//! measured task set.
+//!
+//! Usage: `cargo run --release -p bench --bin fault_tolerance -- [--scale f]`
+
+use bench::{build_workload, parse_args, run_spark_warm, scale_spark_report, Experiment};
+use cluster::{
+    simulate, simulate_with_recompute, simulate_with_restart, ClusterSpec, Failure, Scheduler,
+};
+
+fn main() {
+    let (replay, threads) = parse_args();
+    eprintln!("# generating workload at scale {} ...", replay.scale);
+    let w = build_workload(replay.scale, 42);
+    let run = run_spark_warm(&w, Experiment::TaxiNycb, threads);
+    let report = scale_spark_report(&run.report, &replay);
+
+    // Use the probe stage's task set — the bulk of the job.
+    let probe = report
+        .stages
+        .iter()
+        .find(|s| s.name.contains("probe"))
+        .expect("probe stage exists");
+    let spec = ClusterSpec::ec2_paper_cluster();
+    let fault_free = simulate(&probe.tasks, &spec, Scheduler::Dynamic).makespan;
+
+    println!(
+        "Fault tolerance on the taxi-nycb probe stage ({} tasks, fault-free {:.0}s on 10 nodes)",
+        probe.tasks.len(),
+        fault_free
+    );
+    println!(
+        "{:<12}{:>22}{:>22}{:>14}",
+        "failure at", "Spark recompute (s)", "Impala restart (s)", "advantage"
+    );
+    for frac in [0.25, 0.5, 0.75] {
+        let failure = Failure {
+            node: 3,
+            at_time: fault_free * frac,
+        };
+        let recompute = simulate_with_recompute(&probe.tasks, &spec, failure);
+        let restart = simulate_with_restart(&probe.tasks, &spec, Scheduler::StaticLocality, failure);
+        println!(
+            "{:<12}{:>22.0}{:>22.0}{:>13.2}x",
+            format!("{:.0}%", frac * 100.0),
+            recompute.makespan,
+            restart.makespan,
+            restart.makespan / recompute.makespan
+        );
+    }
+    println!("(recompute re-runs only lost work; restart pays the elapsed time plus a full rerun)");
+}

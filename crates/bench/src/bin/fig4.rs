@@ -1,0 +1,43 @@
+//! Fig. 4 — scalability tests of SpatialSpark.
+//!
+//! Regenerates the paper's Fig. 4: runtime of each of the four joins on
+//! 4, 6, 8 and 10 nodes under SpatialSpark. Shape to check: speedups of
+//! roughly 2× when going 4→10 nodes (2.5× more nodes), i.e. parallel
+//! efficiency around 80% — the fixed per-job and per-stage overheads
+//! keep Spark below linear.
+//!
+//! Usage: `cargo run --release -p bench --bin fig4 -- [--scale f] [--threads n]`
+
+use bench::{build_workload, parse_args, run_spark_warm, spark_runtime_at_scale, Experiment};
+
+const NODES: [usize; 4] = [4, 6, 8, 10];
+
+fn main() {
+    let (replay, threads) = parse_args();
+    let scale = replay.scale;
+    eprintln!("# generating workload at scale {scale} ...");
+    let w = build_workload(scale, 42);
+
+    println!("Fig 4: Scalability of SpatialSpark, runtime (s) vs # of instances (scale {scale})");
+    print!("{:<16}", "experiment");
+    for n in NODES {
+        print!("{n:>10}");
+    }
+    println!("{:>14}", "4->10 speedup");
+    for exp in Experiment::all() {
+        eprintln!("# running {} ...", exp.label());
+        bench::report_memory_gate(&w, exp, &replay);
+        let run = run_spark_warm(&w, exp, threads);
+        let times: Vec<f64> = NODES
+            .iter()
+            .map(|&n| spark_runtime_at_scale(&run, &replay, n))
+            .collect();
+        print!("{:<16}", exp.label());
+        for t in &times {
+            print!("{t:>10.0}");
+        }
+        let speedup = times[0] / times[3];
+        println!("{:>13.2}x", speedup);
+    }
+    println!("(paper: speedups 1.97x-2.06x going 4->10 nodes, ~80% parallel efficiency)");
+}

@@ -1,0 +1,47 @@
+//! Fig. 5 — scalability tests of ISP-MC.
+//!
+//! Regenerates the paper's Fig. 5: runtime of each join on 4, 6, 8 and
+//! 10 nodes under ISP-MC. Shapes to check: near-linear scaling (the
+//! static plan has almost no coordination overhead) *except* the
+//! skew-dominated G10M-wwf join, whose curve flattens at high node
+//! counts because static scheduling cannot rebalance the expensive
+//! ecoregion probes (the paper sees 6357 s → 6257 s going 8→10 nodes).
+//!
+//! Usage: `cargo run --release -p bench --bin fig5 -- [--scale f] [--threads n]`
+
+use bench::{build_workload, ispmc_runtime_at_scale, parse_args, run_ispmc_warm, Experiment};
+
+const NODES: [usize; 4] = [4, 6, 8, 10];
+
+fn main() {
+    let (replay, threads) = parse_args();
+    let scale = replay.scale;
+    eprintln!("# generating workload at scale {scale} ...");
+    let w = build_workload(scale, 42);
+
+    println!("Fig 5: Scalability of ISP-MC, runtime (s) vs # of instances (scale {scale})");
+    print!("{:<16}", "experiment");
+    for n in NODES {
+        print!("{n:>10}");
+    }
+    println!("{:>14}{:>12}", "4->10 speedup", "8->10");
+    for exp in Experiment::all() {
+        eprintln!("# running {} ...", exp.label());
+        bench::report_memory_gate(&w, exp, &replay);
+        let run = run_ispmc_warm(&w, exp, threads);
+        let times: Vec<f64> = NODES
+            .iter()
+            .map(|&n| ispmc_runtime_at_scale(&run, &replay, n))
+            .collect();
+        print!("{:<16}", exp.label());
+        for t in &times {
+            print!("{t:>10.0}");
+        }
+        println!(
+            "{:>13.2}x{:>11.2}x",
+            times[0] / times[3],
+            times[2] / times[3]
+        );
+    }
+    println!("(paper: near-linear for all but G10M-wwf, which flattens 8->10 nodes)");
+}

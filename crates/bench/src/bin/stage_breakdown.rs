@@ -1,0 +1,44 @@
+//! Diagnostic: per-stage measured work for one experiment on both
+//! systems. Not a paper artifact — used to understand where time goes
+//! when tuning the reproduction.
+//!
+//! Usage: `cargo run --release -p bench --bin stage_breakdown -- [--scale f]`
+
+use bench::{build_workload, parse_args, run_ispmc, run_spark, Experiment};
+
+fn main() {
+    let (replay, threads) = parse_args();
+    let scale = replay.scale;
+    let w = build_workload(scale, 42);
+    for exp in [Experiment::TaxiLion500, Experiment::TaxiNycb] {
+        println!("== {} ==", exp.label());
+        let _warmup = run_spark(&w, exp, threads);
+        let spark = run_spark(&w, exp, threads);
+        println!("-- SpatialSpark stages --");
+        for s in &spark.report.stages {
+            println!(
+                "  {:<32} tasks={:<6} work={:.3}s bcast={}B",
+                s.name,
+                s.tasks.len(),
+                s.total_work(),
+                s.broadcast_bytes
+            );
+        }
+        let ispmc = run_ispmc(&w, exp, threads);
+        let m = &ispmc.result.metrics;
+        println!("-- ISP-MC --");
+        println!(
+            "  scan: tasks={} work={:.3}s",
+            m.scan_tasks.len(),
+            m.scan_tasks.iter().map(|t| t.cost).sum::<f64>()
+        );
+        println!("  build: {:.3}s  broadcast={}B", m.build_secs, m.broadcast_bytes);
+        println!(
+            "  probe: batches={} work={:.3}s barrier-sum={:.3}s",
+            m.num_batches(),
+            m.probe_batches.iter().map(|b| b.total()).sum::<f64>(),
+            m.probe_batches.iter().map(|b| b.barrier_time()).sum::<f64>()
+        );
+        println!("  pairs spark={} ispmc={}", spark.pair_count(), m.result_rows);
+    }
+}

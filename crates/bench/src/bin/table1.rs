@@ -1,0 +1,58 @@
+//! Table 1 — runtimes (in seconds) on a single node.
+//!
+//! Regenerates the paper's Table 1: the four spatial joins executed by
+//! SpatialSpark, ISP-MC and the ISP-MC standalone program on one
+//! 8-vCPU node. Absolute values are this substrate's, not EC2's; the
+//! shapes to check are (a) SpatialSpark beats ISP-MC everywhere, (b)
+//! the gap is largest for the refinement-dominated taxi-lion-500 and
+//! G10M-wwf joins, (c) standalone is a single-digit-percent cheaper
+//! than ISP-MC.
+//!
+//! Usage: `cargo run --release -p bench --bin table1 -- [--scale f] [--threads n]`
+
+use bench::{
+    build_workload, ispmc_single_node_at_scale, ispmc_standalone_at_scale, parse_args, run_ispmc_warm, run_spark_warm,
+    spark_single_node_at_scale, Experiment,
+};
+
+fn main() {
+    let (replay, threads) = parse_args();
+    let scale = replay.scale;
+    eprintln!("# generating workload at scale {scale} ...");
+    let w = build_workload(scale, 42);
+
+    println!("Table 1: Runtimes (in seconds) on a single node (scale {scale})");
+    println!(
+        "{:<16}{:>14}{:>12}{:>20}",
+        "", "SpatialSpark", "ISP-MC", "Standalone ISP-MC"
+    );
+    for exp in Experiment::all() {
+        eprintln!("# running {} ...", exp.label());
+        let spark = run_spark_warm(&w, exp, threads);
+        let ispmc = run_ispmc_warm(&w, exp, threads);
+        assert_eq!(
+            spatialjoin::normalize_pairs(spark.pairs.clone()),
+            spatialjoin::normalize_pairs(ispmc.result.pairs.clone()),
+            "systems disagree on {}",
+            exp.label()
+        );
+        let s = spark_single_node_at_scale(&spark, &replay);
+        let i = ispmc_single_node_at_scale(&ispmc, &replay);
+        let st = ispmc_standalone_at_scale(&ispmc, &replay);
+        println!(
+            "{:<16}{:>14.0}{:>12.0}{:>20.0}",
+            exp.label(),
+            s,
+            i,
+            st
+        );
+        eprintln!(
+            "#   pairs={} infra-overhead={:.1}%  spark/ispmc={:.2}x",
+            spark.pair_count(),
+            (i - st) / i * 100.0,
+            i / s
+        );
+    }
+    println!("(paper:      taxi-nycb 682/588/507, taxi-lion-100 696/1061/983,");
+    println!("             taxi-lion-500 825/5720/4922, G10M-wwf 2445/12736/11634)");
+}

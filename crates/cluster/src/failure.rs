@@ -1,0 +1,226 @@
+//! Node-failure injection for the replay simulator.
+//!
+//! §III of the paper notes that "Spark provides fault tolerance through
+//! re-computing as RDDs keep track of data processing workflows", while
+//! Impala's fixed plan has no mid-query recovery — a lost instance
+//! fails the query. This module lets the replay quantify that
+//! difference: kill one node at a chosen time and either *recompute*
+//! the lost work on the survivors (Spark) or *restart* the whole query
+//! on the surviving cluster (Impala).
+
+use crate::sim::{simulate, Scheduler, SimReport, TaskSpec};
+use crate::topology::ClusterSpec;
+
+/// A single node failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Failure {
+    /// Node that dies.
+    pub node: usize,
+    /// Simulated seconds after job start.
+    pub at_time: f64,
+}
+
+/// Outcome of a failure-injected replay.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Total makespan including recovery.
+    pub makespan: f64,
+    /// Makespan of the same job with no failure.
+    pub fault_free_makespan: f64,
+    /// Tasks whose results were lost and had to re-run (recompute mode)
+    /// or the full task count (restart mode).
+    pub tasks_rerun: usize,
+}
+
+impl FailureReport {
+    /// Slow-down factor caused by the failure.
+    pub fn overhead(&self) -> f64 {
+        if self.fault_free_makespan == 0.0 {
+            1.0
+        } else {
+            self.makespan / self.fault_free_makespan
+        }
+    }
+}
+
+/// Spark-style recovery: work that the dead node had produced is
+/// recomputed on the survivors; everything else keeps its progress.
+///
+/// The model: replay the dynamic schedule, classify each task by where
+/// and when it ran, then re-run (lost ∪ unfinished) tasks on the
+/// surviving cluster starting at the failure time.
+pub fn simulate_with_recompute(
+    tasks: &[TaskSpec],
+    spec: &ClusterSpec,
+    failure: Failure,
+) -> FailureReport {
+    let fault_free = simulate(tasks, spec, Scheduler::Dynamic);
+    if failure.at_time >= fault_free.makespan || spec.num_nodes <= 1 {
+        // Nothing lost: the job finished first, or there is nothing to
+        // fail over to (treated as job loss = restart semantics).
+        let makespan = if spec.num_nodes <= 1 {
+            failure.at_time + fault_free.makespan
+        } else {
+            fault_free.makespan
+        };
+        return FailureReport {
+            makespan,
+            fault_free_makespan: fault_free.makespan,
+            tasks_rerun: if spec.num_nodes <= 1 { tasks.len() } else { 0 },
+        };
+    }
+
+    // Replay list scheduling, recording (node, start, end) per task.
+    let cores = spec.total_cores();
+    let mut core_free = vec![0.0f64; cores];
+    let mut rerun: Vec<TaskSpec> = Vec::new();
+    for t in tasks {
+        // Earliest-free core (ties by index) — same policy as `simulate`.
+        let mut best = 0usize;
+        for c in 1..cores {
+            if core_free[c] < core_free[best] {
+                best = c;
+            }
+        }
+        let node = best / spec.cores_per_node;
+        let start = core_free[best];
+        let end = start + t.cost;
+        core_free[best] = end;
+        let lost_output = node == failure.node && end <= failure.at_time;
+        let interrupted = node == failure.node && start < failure.at_time && end > failure.at_time;
+        let never_ran = start >= failure.at_time && node == failure.node;
+        if lost_output || interrupted || never_ran {
+            rerun.push(*t);
+        } else if start >= failure.at_time || end > failure.at_time {
+            // Scheduled on a survivor but not finished at failure time:
+            // it still has to run, count it in the remaining work.
+            rerun.push(*t);
+        }
+    }
+
+    // Survivors re-run the outstanding work from the failure instant.
+    let survivor_spec = ClusterSpec {
+        num_nodes: spec.num_nodes - 1,
+        ..*spec
+    };
+    let recovery = simulate(&rerun, &survivor_spec, Scheduler::Dynamic);
+    FailureReport {
+        makespan: failure.at_time + recovery.makespan,
+        fault_free_makespan: fault_free.makespan,
+        tasks_rerun: rerun.len(),
+    }
+}
+
+/// Impala-style behaviour: the query dies with the node and restarts
+/// from scratch on the surviving cluster.
+pub fn simulate_with_restart(
+    tasks: &[TaskSpec],
+    spec: &ClusterSpec,
+    scheduler: Scheduler,
+    failure: Failure,
+) -> FailureReport {
+    let fault_free = simulate(tasks, spec, scheduler);
+    if failure.at_time >= fault_free.makespan {
+        return FailureReport {
+            makespan: fault_free.makespan,
+            fault_free_makespan: fault_free.makespan,
+            tasks_rerun: 0,
+        };
+    }
+    let survivor_spec = ClusterSpec {
+        num_nodes: (spec.num_nodes - 1).max(1),
+        ..*spec
+    };
+    let rerun = simulate(tasks, &survivor_spec, scheduler);
+    FailureReport {
+        makespan: failure.at_time + rerun.makespan,
+        fault_free_makespan: fault_free.makespan,
+        tasks_rerun: tasks.len(),
+    }
+}
+
+/// Convenience: the fault-free report for comparison.
+pub fn fault_free(tasks: &[TaskSpec], spec: &ClusterSpec, scheduler: Scheduler) -> SimReport {
+    simulate(tasks, spec, scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec {
+            num_nodes: 4,
+            cores_per_node: 2,
+            mem_per_node: 1 << 30,
+        }
+    }
+
+    fn uniform(n: usize) -> Vec<TaskSpec> {
+        vec![TaskSpec::of_cost(1.0); n]
+    }
+
+    #[test]
+    fn failure_after_completion_is_free() {
+        let tasks = uniform(16); // 16 tasks on 8 cores = 2 s
+        let r = simulate_with_recompute(&tasks, &spec(), Failure { node: 0, at_time: 10.0 });
+        assert_eq!(r.makespan, r.fault_free_makespan);
+        assert_eq!(r.tasks_rerun, 0);
+        let r2 = simulate_with_restart(
+            &tasks,
+            &spec(),
+            Scheduler::Dynamic,
+            Failure { node: 0, at_time: 10.0 },
+        );
+        assert_eq!(r2.makespan, r2.fault_free_makespan);
+    }
+
+    #[test]
+    fn recompute_beats_restart_mid_job() {
+        let tasks = uniform(160); // 20 s fault-free
+        let failure = Failure {
+            node: 1,
+            at_time: 15.0,
+        };
+        let recompute = simulate_with_recompute(&tasks, &spec(), failure);
+        let restart = simulate_with_restart(&tasks, &spec(), Scheduler::Dynamic, failure);
+        assert!(recompute.makespan > recompute.fault_free_makespan);
+        assert!(
+            recompute.makespan < restart.makespan,
+            "recompute {} must beat restart {}",
+            recompute.makespan,
+            restart.makespan
+        );
+        assert!(recompute.tasks_rerun < restart.tasks_rerun);
+        assert!(recompute.overhead() > 1.0);
+    }
+
+    #[test]
+    fn recompute_makespan_is_invariant_to_failure_time_on_uniform_work() {
+        // With full recomputation of the dead node's outputs, the
+        // survivors' outstanding work at failure time T is
+        // `total − survivor_rate × T`, so the finish time
+        // `T + outstanding / survivor_rate` is the same for every T
+        // before completion — a neat property the model should honour.
+        let tasks = uniform(160);
+        let early = simulate_with_recompute(&tasks, &spec(), Failure { node: 0, at_time: 1.0 });
+        let late = simulate_with_recompute(&tasks, &spec(), Failure { node: 0, at_time: 18.0 });
+        assert!((early.makespan - late.makespan).abs() < 0.5);
+        // But a late failure has far less left to re-run.
+        assert!(late.tasks_rerun < early.tasks_rerun);
+        assert!(early.makespan > early.fault_free_makespan);
+    }
+
+    #[test]
+    fn single_node_failure_means_restart() {
+        let single = ClusterSpec {
+            num_nodes: 1,
+            cores_per_node: 4,
+            mem_per_node: 1 << 30,
+        };
+        let tasks = uniform(8);
+        let r = simulate_with_recompute(&tasks, &single, Failure { node: 0, at_time: 1.0 });
+        assert!(r.makespan > r.fault_free_makespan);
+        assert_eq!(r.tasks_rerun, 8);
+    }
+}

@@ -1,0 +1,146 @@
+//! Trajectory-zone joins — the paper's future-work data type, wired
+//! through the same filter-refine machinery as the point joins.
+//!
+//! The join: for trajectories `T` and zones (polygons) `Z`, emit
+//! `(t, z)` whenever trajectory `t` passes through zone `z`. Filtering
+//! uses an R-tree over zone envelopes probed with each trajectory's
+//! envelope; refinement uses the exact path-polygon intersection test.
+
+use geom::{HasEnvelope, Polygon, Trajectory};
+use rtree::RTree;
+
+use crate::JoinPair;
+
+/// Serial trajectory-zone join.
+pub fn trajectory_zone_join(
+    trajectories: &[(i64, Trajectory)],
+    zones: &[(i64, Polygon)],
+) -> Vec<JoinPair> {
+    let tree: RTree<(i64, &Polygon)> = RTree::bulk_load_entries(
+        zones
+            .iter()
+            .map(|(id, z)| (z.envelope(), (*id, z)))
+            .collect(),
+    );
+    let mut out = Vec::new();
+    for (tid, traj) in trajectories {
+        tree.for_each_intersecting(&traj.envelope(), |(zid, zone)| {
+            if traj.passes_through(zone) {
+                out.push((*tid, *zid));
+            }
+        });
+    }
+    out
+}
+
+/// Per-zone dwell-time aggregation: total seconds every zone was
+/// occupied, summed over trajectories. Returns `(zone id, seconds)`
+/// sorted by descending dwell.
+pub fn zone_dwell_times(
+    trajectories: &[(i64, Trajectory)],
+    zones: &[(i64, Polygon)],
+) -> Vec<(i64, f64)> {
+    let tree: RTree<(i64, &Polygon)> = RTree::bulk_load_entries(
+        zones
+            .iter()
+            .map(|(id, z)| (z.envelope(), (*id, z)))
+            .collect(),
+    );
+    let mut acc: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    for (_, traj) in trajectories {
+        tree.for_each_intersecting(&traj.envelope(), |(zid, zone)| {
+            let dwell = traj.dwell_time(zone);
+            if dwell > 0.0 {
+                *acc.entry(*zid).or_insert(0.0) += dwell;
+            }
+        });
+    }
+    let mut out: Vec<(i64, f64)> = acc.into_iter().collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Parses trajectory records (`id \t wkt \t times`), dropping
+/// malformed rows like every other reader in this workspace.
+pub fn parse_trajectory_records(lines: &[String]) -> Vec<(i64, Trajectory)> {
+    lines
+        .iter()
+        .filter_map(|l| Trajectory::from_record(l).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{Envelope, LineString};
+
+    fn traj(coords: Vec<f64>, dt: f64) -> Trajectory {
+        let n = coords.len() / 2;
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        Trajectory::new(LineString::new(coords).unwrap(), times).unwrap()
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let trajectories = vec![
+            (0, traj(vec![0.0, 0.0, 10.0, 0.0], 10.0)), // crosses zone 0
+            (1, traj(vec![0.0, 20.0, 10.0, 20.0], 10.0)), // crosses zone 1
+            (2, traj(vec![50.0, 50.0, 60.0, 60.0], 10.0)), // crosses nothing
+        ];
+        let zones = vec![
+            (0, Polygon::rectangle(Envelope::new(4.0, -2.0, 6.0, 2.0))),
+            (1, Polygon::rectangle(Envelope::new(4.0, 18.0, 6.0, 22.0))),
+        ];
+        let mut pairs = trajectory_zone_join(&trajectories, &zones);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn dwell_times_rank_zones() {
+        // One trajectory loiters in zone 0 (slow), races through zone 1.
+        let slow = traj(vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0], 100.0);
+        let fast = traj(vec![10.0, 0.0, 20.0, 0.0], 1.0);
+        let zones = vec![
+            (0, Polygon::rectangle(Envelope::new(-1.0, -1.0, 3.0, 1.0))),
+            (1, Polygon::rectangle(Envelope::new(9.0, -1.0, 21.0, 1.0))),
+        ];
+        let dwell = zone_dwell_times(&[(0, slow), (1, fast)], &zones);
+        assert_eq!(dwell[0].0, 0, "slow zone must rank first");
+        assert!(dwell[0].1 > dwell[1].1);
+    }
+
+    #[test]
+    fn record_parsing_drops_garbage() {
+        let lines = vec![
+            "0\tLINESTRING (0 0, 1 1)\t0,10".to_string(),
+            "garbage".to_string(),
+            "1\tLINESTRING (2 2, 3 3)\t5,1".to_string(), // decreasing times
+        ];
+        let parsed = parse_trajectory_records(&lines);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, 0);
+    }
+
+    #[test]
+    fn end_to_end_with_generated_trips() {
+        let records = datagen::trips::trip_records(300, 9);
+        let trips = parse_trajectory_records(&records);
+        assert_eq!(trips.len(), 300);
+        let zones: Vec<(i64, Polygon)> = datagen::nycb::polygons(300, 9)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as i64, p))
+            .collect();
+        let pairs = trajectory_zone_join(&trips, &zones);
+        assert!(!pairs.is_empty(), "trips must cross some census blocks");
+        // Every reported pair truly intersects.
+        let zone_map: std::collections::HashMap<i64, &Polygon> =
+            zones.iter().map(|(i, p)| (*i, p)).collect();
+        let trip_map: std::collections::HashMap<i64, &Trajectory> =
+            trips.iter().map(|(i, t)| (*i, t)).collect();
+        for (tid, zid) in &pairs {
+            assert!(trip_map[tid].passes_through(zone_map[zid]));
+        }
+    }
+}

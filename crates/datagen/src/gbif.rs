@@ -1,0 +1,125 @@
+//! Synthetic GBIF species-occurrence points (the G10M dataset).
+//!
+//! Occurrence records cluster around biodiversity hotspots and
+//! well-sampled regions (Europe and North America dominate real GBIF
+//! holdings), restricted to terrestrial latitudes. The generator uses a
+//! mixture of ~40 regional clusters with log-normal masses — a few
+//! clusters hold most of the points, which is the skew that stresses
+//! static scheduling in the G10M-wwf experiment.
+
+use geom::{Geometry, Point};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::rng::{lognormal, normal_scaled, seeded};
+use crate::WORLD_EXTENT;
+
+const NUM_CLUSTERS: usize = 40;
+
+struct Cluster {
+    cx: f64,
+    cy: f64,
+    spread: f64,
+    cumulative: f64, // cumulative weight in [0, 1]
+}
+
+fn clusters(rng: &mut StdRng) -> Vec<Cluster> {
+    let mut raw = Vec::with_capacity(NUM_CLUSTERS);
+    for _ in 0..NUM_CLUSTERS {
+        // Centres biased towards the latitudes that hold land and
+        // observers: mostly 25°–60° N, some tropics and southern lands.
+        let lat_band: f64 = rng.random_range(0.0..1.0);
+        let cy = if lat_band < 0.5 {
+            rng.random_range(25.0..60.0)
+        } else if lat_band < 0.8 {
+            rng.random_range(-25.0..25.0)
+        } else {
+            rng.random_range(-55.0..-10.0)
+        };
+        let cx = rng.random_range(-170.0..170.0);
+        let spread = rng.random_range(2.0..12.0);
+        let mass = lognormal(rng, 0.0, 1.4); // heavy-tailed cluster sizes
+        raw.push((cx, cy, spread, mass));
+    }
+    let total: f64 = raw.iter().map(|r| r.3).sum();
+    let mut acc = 0.0;
+    raw.into_iter()
+        .map(|(cx, cy, spread, mass)| {
+            acc += mass / total;
+            Cluster {
+                cx,
+                cy,
+                spread,
+                cumulative: acc,
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` occurrence points, deterministically from `seed`.
+pub fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = seeded(seed ^ 0x6762_6966); // "gbif"
+    let cs = clusters(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let pick: f64 = rng.random_range(0.0..1.0);
+        let c = cs
+            .iter()
+            .find(|c| pick <= c.cumulative)
+            .unwrap_or(cs.last().expect("clusters non-empty"));
+        let p = Point::new(
+            normal_scaled(&mut rng, c.cx, c.spread),
+            normal_scaled(&mut rng, c.cy, c.spread * 0.7),
+        );
+        if WORLD_EXTENT.contains(p.x, p.y) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Generates occurrences wrapped as [`Geometry`] records.
+pub fn geometries(n: usize, seed: u64) -> Vec<Geometry> {
+    points(n, seed).into_iter().map(Geometry::Point).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_extent() {
+        let a = points(2000, 1);
+        assert_eq!(a, points(2000, 1));
+        assert_eq!(a.len(), 2000);
+        assert!(a.iter().all(|p| WORLD_EXTENT.contains(p.x, p.y)));
+    }
+
+    #[test]
+    fn heavily_clustered() {
+        // Measure skew with a coarse 36×18 grid of 10° cells: the top
+        // cells should hold far more than a uniform share.
+        let pts = points(20_000, 2);
+        let mut cells = std::collections::HashMap::new();
+        for p in &pts {
+            let key = ((p.x / 10.0).floor() as i32, (p.y / 10.0).floor() as i32);
+            *cells.entry(key).or_insert(0usize) += 1;
+        }
+        let max = *cells.values().max().unwrap();
+        let uniform_share = pts.len() / (36 * 18);
+        assert!(
+            max > uniform_share * 10,
+            "max cell {max} vs uniform {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn latitudes_mostly_terrestrial() {
+        let pts = points(10_000, 3);
+        let polar = pts.iter().filter(|p| p.y.abs() > 70.0).count();
+        assert!(
+            polar < pts.len() / 20,
+            "too many polar occurrences: {polar}"
+        );
+    }
+}

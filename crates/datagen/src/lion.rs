@@ -1,0 +1,132 @@
+//! Synthetic LION street-network polylines.
+//!
+//! The LION dataset holds ~200 K street segments. Typical NYC blocks are
+//! a few hundred feet long, so the generator emits mostly axis-aligned
+//! segments of 150–800 ft with slight bends (2–6 vertices), denser in
+//! the same hotspots as the taxi pickups — street density and trip
+//! density correlate in the real data, which is what makes the
+//! taxi-lion join refinement-heavy where it matters.
+
+use geom::{Geometry, LineString, Point};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::rng::{normal_scaled, seeded};
+use crate::NYC_EXTENT;
+
+/// Generates `n` street polylines, deterministically from `seed`.
+pub fn polylines(n: usize, seed: u64) -> Vec<LineString> {
+    let mut rng = seeded(seed ^ 0x6c69_6f6e); // "lion"
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let start = random_street_origin(&mut rng);
+        let ls = street(&mut rng, start);
+        if NYC_EXTENT.contains_envelope(&geom::HasEnvelope::envelope(&ls)) {
+            out.push(ls);
+        }
+    }
+    out
+}
+
+/// Generates street polylines wrapped as [`Geometry`] records.
+pub fn geometries(n: usize, seed: u64) -> Vec<Geometry> {
+    polylines(n, seed)
+        .into_iter()
+        .map(Geometry::LineString)
+        .collect()
+}
+
+fn random_street_origin(rng: &mut StdRng) -> Point {
+    // Street networks are far more uniform than trip origins: 10 % in
+    // the denser cores (smaller blocks), 90 % spread over the grid.
+    if rng.random_range(0.0..1.0) < 0.10 {
+        let (cx, cy, spread) = match rng.random_range(0..3u32) {
+            0 => (30_000.0, 80_000.0, 15_000.0),
+            1 => (28_000.0, 68_000.0, 14_000.0),
+            _ => (55_000.0, 60_000.0, 18_000.0),
+        };
+        Point::new(
+            normal_scaled(rng, cx, spread),
+            normal_scaled(rng, cy, spread),
+        )
+    } else {
+        Point::new(
+            rng.random_range(NYC_EXTENT.min_x..NYC_EXTENT.max_x),
+            rng.random_range(NYC_EXTENT.min_y..NYC_EXTENT.max_y),
+        )
+    }
+}
+
+fn street(rng: &mut StdRng, start: Point) -> LineString {
+    let vertices = rng.random_range(2..=6usize);
+    let length: f64 = rng.random_range(150.0..800.0);
+    // Mostly grid-aligned with a small rotation, like Manhattan's grid.
+    let base_angle = if rng.random_range(0.0..1.0) < 0.5 { 0.0 } else { std::f64::consts::FRAC_PI_2 }
+        + rng.random_range(-0.25..0.25);
+    let step = length / (vertices - 1) as f64;
+    let mut coords = Vec::with_capacity(vertices * 2);
+    let (mut x, mut y) = (start.x, start.y);
+    let mut angle = base_angle;
+    coords.push(x);
+    coords.push(y);
+    for _ in 1..vertices {
+        angle += rng.random_range(-0.1..0.1); // slight bend
+        x += step * angle.cos();
+        y += step * angle.sin();
+        coords.push(x);
+        coords.push(y);
+    }
+    LineString::new(coords).expect("streets have ≥2 vertices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::HasEnvelope;
+
+    #[test]
+    fn deterministic_count_and_extent() {
+        let a = polylines(500, 1);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, polylines(500, 1));
+        for ls in &a {
+            assert!(NYC_EXTENT.contains_envelope(&ls.envelope()));
+        }
+    }
+
+    #[test]
+    fn realistic_segment_lengths_and_vertices() {
+        let lines = polylines(2000, 2);
+        for ls in &lines {
+            assert!((2..=6).contains(&ls.num_points()));
+            let len = ls.length();
+            assert!(
+                (100.0..1200.0).contains(&len),
+                "street length {len} ft out of range"
+            );
+        }
+        let avg: f64 =
+            lines.iter().map(LineString::length).sum::<f64>() / lines.len() as f64;
+        assert!((200.0..700.0).contains(&avg), "avg length {avg}");
+    }
+
+    #[test]
+    fn density_correlates_with_hotspots() {
+        let lines = polylines(10_000, 3);
+        let near = lines
+            .iter()
+            .filter(|l| {
+                let c = l.envelope().center();
+                (c.x - 30_000.0).abs() < 10_000.0 && (c.y - 80_000.0).abs() < 10_000.0
+            })
+            .count();
+        let corner = lines
+            .iter()
+            .filter(|l| {
+                let c = l.envelope().center();
+                c.x > 78_000.0 && c.y > 108_000.0
+            })
+            .count();
+        assert!(near > corner * 3, "hotspot {near} vs corner {corner}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic NYC census-block polygons.
+//!
+//! Real census blocks tile the city; the paper reports ~40 K polygons
+//! with about 9 vertices on average. The generator tiles
+//! [`crate::NYC_EXTENT`] with a jittered (non-uniform) grid — cells
+//! share their boundary lines, so the tiling is gap- and overlap-free
+//! like real blocks — and inserts extra collinear vertices along cell
+//! edges to reproduce the vertex-count statistics that drive refinement
+//! cost.
+
+use geom::{Geometry, Polygon};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::rng::seeded;
+use crate::NYC_EXTENT;
+
+/// Generates `n` census-block polygons, deterministically from `seed`.
+pub fn polygons(n: usize, seed: u64) -> Vec<Polygon> {
+    let mut rng = seeded(seed ^ 0x6e79_6362); // "nycb"
+    // Pick a grid shape with aspect ratio near the extent's and at
+    // least n cells.
+    let aspect = NYC_EXTENT.width() / NYC_EXTENT.height();
+    let rows = ((n as f64 / aspect).sqrt()).ceil().max(1.0) as usize;
+    let cols = n.div_ceil(rows);
+    let xs = jittered_lines(&mut rng, NYC_EXTENT.min_x, NYC_EXTENT.max_x, cols);
+    let ys = jittered_lines(&mut rng, NYC_EXTENT.min_y, NYC_EXTENT.max_y, rows);
+
+    let mut out = Vec::with_capacity(n);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if out.len() >= n {
+                break 'outer;
+            }
+            let (x0, x1) = (xs[c], xs[c + 1]);
+            let (y0, y1) = (ys[r], ys[r + 1]);
+            out.push(block_polygon(&mut rng, x0, y0, x1, y1));
+        }
+    }
+    out
+}
+
+/// Generates census blocks wrapped as [`Geometry`] records.
+pub fn geometries(n: usize, seed: u64) -> Vec<Geometry> {
+    polygons(n, seed)
+        .into_iter()
+        .map(Geometry::Polygon)
+        .collect()
+}
+
+/// `count + 1` monotone grid lines from `lo` to `hi` with ±30 % spacing
+/// jitter.
+fn jittered_lines(rng: &mut StdRng, lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..count).map(|_| rng.random_range(0.7..1.3)).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w *= (hi - lo) / total;
+    }
+    let mut lines = Vec::with_capacity(count + 1);
+    let mut x = lo;
+    lines.push(x);
+    for w in weights {
+        x += w;
+        lines.push(x);
+    }
+    *lines.last_mut().expect("non-empty") = hi; // kill rounding drift
+    lines
+}
+
+/// One rectangular block with 0–8 extra collinear vertices spread over
+/// its edges (average ≈ 4, giving ≈ 9 vertices per closed ring like the
+/// paper's nycb average).
+fn block_polygon(rng: &mut StdRng, x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+    let extra = rng.random_range(0..=8u32);
+    let per_edge = [extra / 4, extra / 4 + extra % 4 / 2, extra / 4, extra / 4 + extra % 2];
+    let mut coords = Vec::with_capacity(((5 + extra) * 2) as usize);
+    let corners = [(x0, y0), (x1, y0), (x1, y1), (x0, y1), (x0, y0)];
+    for e in 0..4 {
+        let (ax, ay) = corners[e];
+        let (bx, by) = corners[e + 1];
+        coords.push(ax);
+        coords.push(ay);
+        // Extra vertices strictly interior to the edge, sorted.
+        let mut ts: Vec<f64> = (0..per_edge[e]).map(|_| rng.random_range(0.05..0.95)).collect();
+        ts.sort_by(f64::total_cmp);
+        for t in ts {
+            coords.push(ax + t * (bx - ax));
+            coords.push(ay + t * (by - ay));
+        }
+    }
+    coords.push(x0);
+    coords.push(y0);
+    Polygon::from_coords(coords, vec![]).expect("grid cells are valid rings")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{HasEnvelope, Point};
+
+    #[test]
+    fn deterministic_count_and_extent() {
+        let a = polygons(500, 1);
+        let b = polygons(500, 1);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[17].envelope(), b[17].envelope());
+        for p in &a {
+            let e = p.envelope();
+            assert!(NYC_EXTENT.contains_envelope(&e), "block outside extent");
+        }
+    }
+
+    #[test]
+    fn average_vertex_count_near_paper_value() {
+        let polys = polygons(2000, 2);
+        let total: usize = polys.iter().map(Polygon::num_points).sum();
+        let avg = total as f64 / polys.len() as f64;
+        assert!(
+            (7.0..=11.0).contains(&avg),
+            "avg vertices {avg}, paper reports ≈9"
+        );
+    }
+
+    #[test]
+    fn blocks_tile_without_overlap() {
+        let polys = polygons(100, 3);
+        // Total area equals extent area when n fills the grid exactly;
+        // here we only check no two blocks' interiors overlap.
+        for i in 0..polys.len() {
+            for j in i + 1..polys.len() {
+                let inter = polys[i].envelope().intersection(&polys[j].envelope());
+                assert!(
+                    inter.area() < 1e-6,
+                    "blocks {i} and {j} overlap by {}",
+                    inter.area()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_point_is_contained() {
+        let polys = polygons(50, 4);
+        for p in &polys {
+            let c = p.envelope().center();
+            assert!(p.contains_point(Point::new(c.x, c.y)));
+        }
+    }
+}

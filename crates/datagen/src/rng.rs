@@ -1,0 +1,68 @@
+//! Seeded random-number helpers shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Creates the deterministic generator used across this crate.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Standard normal sample via Box–Muller (rand's core crate ships no
+/// distributions; this keeps the dependency list to the approved set).
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal_scaled(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * normal(rng)
+}
+
+/// Log-normal sample parameterised by the *mean of the underlying
+/// normal* `mu` and its standard deviation `sigma` — heavy-tailed, used
+/// for the wwf vertex-count skew.
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..10 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = seeded(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = seeded(9);
+        let samples: Vec<f64> = (0..5000).map(|_| lognormal(&mut rng, 4.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[samples.len() / 2];
+        assert!(mean > median, "lognormal mean exceeds median (skew)");
+    }
+}

@@ -1,0 +1,116 @@
+//! Synthetic NYC taxi pickup locations.
+//!
+//! Real pickups concentrate heavily in Manhattan with secondary hotspots
+//! at the airports and a diffuse background across the boroughs. The
+//! generator reproduces that as a Gaussian mixture: a few dense urban
+//! hotspots (70 % of the mass), two airport-like clusters (10 %), and a
+//! uniform background (20 %), all clipped to [`crate::NYC_EXTENT`].
+
+use geom::{Geometry, Point};
+use rand::RngExt;
+
+use crate::rng::{normal_scaled, seeded};
+use crate::NYC_EXTENT;
+
+/// A mixture component: centre plus spread (feet).
+struct Hotspot {
+    cx: f64,
+    cy: f64,
+    spread: f64,
+    weight: f64,
+}
+
+fn hotspots() -> Vec<Hotspot> {
+    vec![
+        // Dense "midtown"/"downtown" style cores.
+        Hotspot { cx: 30_000.0, cy: 80_000.0, spread: 3_000.0, weight: 0.30 },
+        Hotspot { cx: 28_000.0, cy: 68_000.0, spread: 2_500.0, weight: 0.20 },
+        Hotspot { cx: 35_000.0, cy: 92_000.0, spread: 4_000.0, weight: 0.12 },
+        // Outer-borough centres.
+        Hotspot { cx: 55_000.0, cy: 60_000.0, spread: 6_000.0, weight: 0.08 },
+        // Airport-like clusters.
+        Hotspot { cx: 75_000.0, cy: 45_000.0, spread: 1_500.0, weight: 0.06 },
+        Hotspot { cx: 62_000.0, cy: 95_000.0, spread: 1_500.0, weight: 0.04 },
+    ]
+}
+
+/// Generates `n` pickup points, deterministically from `seed`.
+pub fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = seeded(seed ^ 0x7a61_7869); // "taxi"
+    let spots = hotspots();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let roll: f64 = rng.random_range(0.0..1.0);
+        let p = if roll < 0.8 {
+            // Pick a hotspot proportional to weight.
+            let mut pick = rng.random_range(0.0..0.8);
+            let mut chosen = &spots[0];
+            for s in &spots {
+                if pick < s.weight {
+                    chosen = s;
+                    break;
+                }
+                pick -= s.weight;
+            }
+            Point::new(
+                normal_scaled(&mut rng, chosen.cx, chosen.spread),
+                normal_scaled(&mut rng, chosen.cy, chosen.spread),
+            )
+        } else {
+            Point::new(
+                rng.random_range(NYC_EXTENT.min_x..NYC_EXTENT.max_x),
+                rng.random_range(NYC_EXTENT.min_y..NYC_EXTENT.max_y),
+            )
+        };
+        if NYC_EXTENT.contains(p.x, p.y) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Generates pickup points wrapped as [`Geometry`] records.
+pub fn geometries(n: usize, seed: u64) -> Vec<Geometry> {
+    points(n, seed).into_iter().map(Geometry::Point).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_extent() {
+        let a = points(1000, 1);
+        let b = points(1000, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| NYC_EXTENT.contains(p.x, p.y)));
+        let c = points(1000, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_hotspots() {
+        let pts = points(20_000, 3);
+        // Count points within 2 spreads of the main hotspot vs an
+        // equal-sized box in a quiet corner.
+        let near_hot = pts
+            .iter()
+            .filter(|p| (p.x - 30_000.0).abs() < 6_000.0 && (p.y - 80_000.0).abs() < 6_000.0)
+            .count();
+        let quiet = pts
+            .iter()
+            .filter(|p| p.x < 12_000.0 && p.y < 16_000.0)
+            .count();
+        assert!(
+            near_hot > quiet * 5,
+            "hotspot {near_hot} vs quiet corner {quiet}"
+        );
+    }
+
+    #[test]
+    fn exact_count() {
+        assert_eq!(points(0, 1).len(), 0);
+        assert_eq!(points(17, 1).len(), 17);
+        assert_eq!(geometries(5, 1).len(), 5);
+    }
+}

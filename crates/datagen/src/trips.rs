@@ -1,0 +1,104 @@
+//! Synthetic taxi *trajectories* — the moving-object counterpart of the
+//! pickup points, supporting the trajectory extension (the paper's
+//! future-work data type).
+//!
+//! Each trip starts at a pickup-like location and random-walks along
+//! the street grid at taxi speeds (15–45 ft/s ≈ 10–30 mph), with a GPS
+//! sample every 15–45 seconds — the sampling profile of the real NYC
+//! taxi feed.
+
+use geom::{LineString, Trajectory};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::rng::{normal_scaled, seeded};
+use crate::NYC_EXTENT;
+
+/// Generates `n` trips, deterministically from `seed`.
+pub fn trajectories(n: usize, seed: u64) -> Vec<Trajectory> {
+    let mut rng = seeded(seed ^ 0x7472_6970); // "trip"
+    (0..n).map(|_| trip(&mut rng)).collect()
+}
+
+/// Generates trips as tab-separated records (`id \t wkt \t times`).
+pub fn trip_records(n: usize, seed: u64) -> Vec<String> {
+    trajectories(n, seed)
+        .iter()
+        .enumerate()
+        .map(|(i, t)| t.to_record(i as i64))
+        .collect()
+}
+
+fn trip(rng: &mut StdRng) -> Trajectory {
+    // Start near one of the taxi hotspots.
+    let (cx, cy, spread) = match rng.random_range(0..3u32) {
+        0 => (30_000.0, 80_000.0, 4_000.0),
+        1 => (28_000.0, 68_000.0, 3_500.0),
+        _ => (55_000.0, 60_000.0, 7_000.0),
+    };
+    let mut x = normal_scaled(rng, cx, spread).clamp(NYC_EXTENT.min_x, NYC_EXTENT.max_x);
+    let mut y = normal_scaled(rng, cy, spread).clamp(NYC_EXTENT.min_y, NYC_EXTENT.max_y);
+
+    let samples = rng.random_range(5..=40usize);
+    let mut coords = Vec::with_capacity(samples * 2);
+    let mut times = Vec::with_capacity(samples);
+    let mut t = rng.random_range(0.0..86_400.0); // seconds into the day
+    // Mostly axis-aligned movement, like a street grid.
+    let mut heading = if rng.random_range(0.0..1.0) < 0.5 { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+    coords.push(x);
+    coords.push(y);
+    times.push(t);
+    for _ in 1..samples {
+        let dt = rng.random_range(15.0..45.0);
+        let speed = rng.random_range(15.0..45.0); // ft/s
+        // Occasional turns onto the cross street.
+        if rng.random_range(0.0..1.0) < 0.3 {
+            heading += std::f64::consts::FRAC_PI_2 * if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+        }
+        x = (x + speed * dt * heading.cos()).clamp(NYC_EXTENT.min_x, NYC_EXTENT.max_x);
+        y = (y + speed * dt * heading.sin()).clamp(NYC_EXTENT.min_y, NYC_EXTENT.max_y);
+        t += dt;
+        coords.push(x);
+        coords.push(y);
+        times.push(t);
+    }
+    let path = LineString::new(coords).expect("trips have ≥2 samples");
+    Trajectory::new(path, times).expect("times are increasing by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::HasEnvelope;
+
+    #[test]
+    fn deterministic_and_in_extent() {
+        let a = trajectories(200, 1);
+        assert_eq!(a.len(), 200);
+        assert_eq!(a, trajectories(200, 1));
+        for t in &a {
+            assert!(NYC_EXTENT.contains_envelope(&t.envelope()));
+            assert!(t.duration() > 0.0);
+            assert!((5..=40).contains(&t.num_samples()));
+        }
+    }
+
+    #[test]
+    fn speeds_are_taxi_like() {
+        let trips = trajectories(500, 2);
+        let speeds: Vec<f64> = trips.iter().map(Trajectory::average_speed).collect();
+        let avg = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        // 15–45 ft/s sample speeds; clamping at borders slows some trips.
+        assert!((8.0..45.0).contains(&avg), "avg speed {avg} ft/s");
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = trip_records(50, 3);
+        for (i, r) in records.iter().enumerate() {
+            let (id, t) = geom::Trajectory::from_record(r).unwrap();
+            assert_eq!(id, i as i64);
+            assert!(t.num_samples() >= 5);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic WWF terrestrial-ecoregion polygons.
+//!
+//! The real dataset has 14,458 polygons with 4,028,622 vertices — 279 on
+//! average, with enormous skew (coastal ecoregions are digitised with
+//! tens of thousands of vertices). The generator reproduces the count,
+//! the mean, and the skew with log-normally distributed vertex counts,
+//! and emits star-shaped "blob" polygons (radial sinusoidal
+//! perturbation) whose radius grows with their vertex count, mirroring
+//! how larger regions carry more boundary detail. The skew is what
+//! makes ISP-MC's static scheduling fall behind in the G10M-wwf
+//! experiment (§V.C).
+
+use geom::{Geometry, Polygon};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::rng::{lognormal, seeded};
+
+/// Smallest ring we emit (closed quadrilateral).
+const MIN_VERTICES: usize = 8;
+/// Cap protecting against pathological log-normal tails.
+const MAX_VERTICES: usize = 20_000;
+
+/// Fraction of ecoregions that are scattered multipolygons
+/// (archipelagos, disjoint climate bands). Their envelopes span far
+/// more area than their parts, which is what drives the large
+/// candidate sets — and hence refinement load — of the G10M-wwf join.
+const MULTI_FRACTION: f64 = 0.30;
+
+/// Generates `n` ecoregion polygons, deterministically from `seed`.
+pub fn polygons(n: usize, seed: u64) -> Vec<Polygon> {
+    let mut rng = seeded(seed ^ 0x7777_6600); // "wwf"
+    (0..n).map(|_| ecoregion(&mut rng)).collect()
+}
+
+/// Generates ecoregions wrapped as [`Geometry`] records: mostly single
+/// polygons, with [`MULTI_FRACTION`] scattered multipolygons.
+pub fn geometries(n: usize, seed: u64) -> Vec<Geometry> {
+    let mut rng = seeded(seed ^ 0x7777_6601);
+    polygons(n, seed)
+        .into_iter()
+        .map(|poly| {
+            if rng.random_range(0.0..1.0) < MULTI_FRACTION {
+                Geometry::MultiPolygon(scatter(&mut rng, poly))
+            } else {
+                Geometry::Polygon(poly)
+            }
+        })
+        .collect()
+}
+
+/// Splits one blob into 2–5 translated copies scattered over a wide
+/// band, shrinking each copy so the total vertex count and land area
+/// stay comparable.
+fn scatter(rng: &mut StdRng, poly: Polygon) -> geom::MultiPolygon {
+    let parts = rng.random_range(2..=5usize);
+    let src = poly.exterior().coords();
+    let e = geom::HasEnvelope::envelope(&poly);
+    let (cx, cy) = ((e.min_x + e.max_x) * 0.5, (e.min_y + e.max_y) * 0.5);
+    let shrink = 1.0 / (parts as f64).sqrt();
+    let mut out = Vec::with_capacity(parts);
+    for _ in 0..parts {
+        let dx = rng.random_range(-60.0..60.0);
+        let dy = rng.random_range(-20.0..20.0);
+        let coords: Vec<f64> = src
+            .chunks_exact(2)
+            .flat_map(|c| {
+                let x = (cx + (c[0] - cx) * shrink + dx).clamp(-180.0, 180.0);
+                let y = (cy + (c[1] - cy) * shrink + dy).clamp(-90.0, 90.0);
+                [x, y]
+            })
+            .collect();
+        out.push(Polygon::from_coords(coords, vec![]).expect("translated blob stays valid"));
+    }
+    geom::MultiPolygon::new(out)
+}
+
+fn ecoregion(rng: &mut StdRng) -> Polygon {
+    // exp(mu + sigma^2/2) = 279 with sigma = 1 → mu = ln 279 − 0.5.
+    let mu = (279.0f64).ln() - 0.5;
+    let vertices = (lognormal(rng, mu, 1.0).round() as usize).clamp(MIN_VERTICES, MAX_VERTICES);
+
+    // Centres in the same land-biased latitude bands as the GBIF points
+    // so the two datasets actually join.
+    let band: f64 = rng.random_range(0.0..1.0);
+    let cy = if band < 0.5 {
+        rng.random_range(25.0..60.0)
+    } else if band < 0.8 {
+        rng.random_range(-25.0..25.0)
+    } else {
+        rng.random_range(-55.0..-10.0)
+    };
+    let cx = rng.random_range(-165.0..165.0);
+
+    // More boundary detail ⇒ physically larger region.
+    let radius = (0.02 * (vertices as f64).powf(0.7)).min(12.0);
+
+    // Star-shaped blob: r(θ) = R·(1 + Σ aᵢ sin(kᵢθ + φᵢ)); radial form
+    // keeps the ring simple (non-self-intersecting) by construction.
+    let harmonics: Vec<(f64, f64, f64)> = (0..3)
+        .map(|h| {
+            (
+                rng.random_range(0.05..0.18),                 // amplitude
+                (h + 2) as f64 + rng.random_range(0.0..3.0),  // frequency
+                rng.random_range(0.0..std::f64::consts::TAU), // phase
+            )
+        })
+        .collect();
+
+    let ring_len = vertices - 1; // last vertex repeats the first
+    let mut coords = Vec::with_capacity(vertices * 2);
+    for i in 0..ring_len {
+        let theta = std::f64::consts::TAU * i as f64 / ring_len as f64;
+        let mut r = 1.0;
+        for &(a, k, phi) in &harmonics {
+            r += a * (k * theta + phi).sin();
+        }
+        let r = radius * r.max(0.2);
+        // Clamp to the world extent; latitude squashing keeps blobs
+        // roughly isotropic on the globe.
+        let x = (cx + r * theta.cos()).clamp(-180.0, 180.0);
+        let y = (cy + r * 0.8 * theta.sin()).clamp(-90.0, 90.0);
+        coords.push(x);
+        coords.push(y);
+    }
+    coords.push(coords[0]);
+    coords.push(coords[1]);
+    Polygon::from_coords(coords, vec![]).expect("radial blobs are valid rings")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::{HasEnvelope, Point};
+
+    #[test]
+    fn deterministic_count() {
+        let a = polygons(300, 1);
+        assert_eq!(a.len(), 300);
+        let b = polygons(300, 1);
+        assert_eq!(a[0].exterior().coords(), b[0].exterior().coords());
+    }
+
+    #[test]
+    fn vertex_statistics_match_paper() {
+        let polys = polygons(3000, 2);
+        let counts: Vec<usize> = polys.iter().map(Polygon::num_points).collect();
+        let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(
+            (180.0..420.0).contains(&avg),
+            "avg vertices {avg}, paper reports 279"
+        );
+        // Heavy tail: the biggest polygon dwarfs the median.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(
+            max > median * 10,
+            "expected heavy tail, median {median} max {max}"
+        );
+    }
+
+    #[test]
+    fn polygons_are_inside_world_and_contain_their_centre() {
+        let polys = polygons(200, 3);
+        for p in &polys {
+            let e = p.envelope();
+            assert!(e.min_x >= -180.0 && e.max_x <= 180.0);
+            assert!(e.min_y >= -90.0 && e.max_y <= 90.0);
+            let c = e.center();
+            // Star-shaped blobs always contain their centroid region;
+            // use the envelope centre which coincides for these shapes.
+            assert!(
+                p.contains_point(Point::new(c.x, c.y)),
+                "blob does not contain its centre"
+            );
+        }
+    }
+
+    #[test]
+    fn area_scales_with_vertex_count() {
+        let polys = polygons(2000, 4);
+        let mut small_area = 0.0;
+        let mut big_area = 0.0;
+        for p in &polys {
+            if p.num_points() < 50 {
+                small_area = f64::max(small_area, p.area());
+            }
+            if p.num_points() > 1000 {
+                big_area = f64::max(big_area, p.area());
+            }
+        }
+        assert!(
+            big_area > small_area,
+            "detailed regions should be larger: {big_area} vs {small_area}"
+        );
+    }
+}

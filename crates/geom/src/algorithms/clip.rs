@@ -1,0 +1,251 @@
+//! Polygon clipping against axis-aligned rectangles
+//! (Sutherland–Hodgman).
+//!
+//! SpatialHadoop-style systems clip replicated geometries to their
+//! partition cell so each cell stores only its share; this module
+//! provides that primitive (plus polyline clipping for the same use on
+//! street networks).
+
+use crate::envelope::Envelope;
+use crate::error::GeomError;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// One rectangle edge, as a half-plane test.
+#[derive(Clone, Copy)]
+enum Side {
+    Left(f64),
+    Right(f64),
+    Bottom(f64),
+    Top(f64),
+}
+
+impl Side {
+    fn inside(&self, p: Point) -> bool {
+        match *self {
+            Side::Left(x) => p.x >= x,
+            Side::Right(x) => p.x <= x,
+            Side::Bottom(y) => p.y >= y,
+            Side::Top(y) => p.y <= y,
+        }
+    }
+
+    /// Intersection of segment `a..b` with this side's boundary line.
+    fn intersect(&self, a: Point, b: Point) -> Point {
+        match *self {
+            Side::Left(x) | Side::Right(x) => {
+                let t = (x - a.x) / (b.x - a.x);
+                Point::new(x, a.y + t * (b.y - a.y))
+            }
+            Side::Bottom(y) | Side::Top(y) => {
+                let t = (y - a.y) / (b.y - a.y);
+                Point::new(a.x + t * (b.x - a.x), y)
+            }
+        }
+    }
+}
+
+/// Clips a polygon's exterior ring to a rectangle. Returns `None` when
+/// the intersection is empty or degenerate (holes are not supported —
+/// the partition-clipping use case works on exterior shells).
+///
+/// # Errors
+/// Returns [`GeomError::UnsupportedGeometry`] for polygons with holes.
+pub fn clip_polygon(poly: &Polygon, rect: Envelope) -> Result<Option<Polygon>, GeomError> {
+    if !poly.holes().is_empty() {
+        return Err(GeomError::UnsupportedGeometry("POLYGON with holes"));
+    }
+    let coords = poly.exterior().coords();
+    let n = coords.len() / 2;
+    // Drop the closing vertex for the algorithm.
+    let mut ring: Vec<Point> = (0..n - 1)
+        .map(|i| Point::new(coords[2 * i], coords[2 * i + 1]))
+        .collect();
+
+    for side in [
+        Side::Left(rect.min_x),
+        Side::Right(rect.max_x),
+        Side::Bottom(rect.min_y),
+        Side::Top(rect.max_y),
+    ] {
+        if ring.is_empty() {
+            return Ok(None);
+        }
+        let mut out = Vec::with_capacity(ring.len() + 4);
+        for i in 0..ring.len() {
+            let cur = ring[i];
+            let prev = ring[(i + ring.len() - 1) % ring.len()];
+            match (side.inside(prev), side.inside(cur)) {
+                (true, true) => out.push(cur),
+                (true, false) => out.push(side.intersect(prev, cur)),
+                (false, true) => {
+                    out.push(side.intersect(prev, cur));
+                    out.push(cur);
+                }
+                (false, false) => {}
+            }
+        }
+        ring = out;
+    }
+    // Deduplicate consecutive identical vertices the clipping can emit.
+    ring.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    if ring.len() < 3 {
+        return Ok(None);
+    }
+    let mut out_coords: Vec<f64> = ring.iter().flat_map(|p| [p.x, p.y]).collect();
+    out_coords.push(ring[0].x);
+    out_coords.push(ring[0].y);
+    match Polygon::from_coords(out_coords, vec![]) {
+        Ok(p) if p.area() > 0.0 => Ok(Some(p)),
+        _ => Ok(None),
+    }
+}
+
+/// Clips a polyline to a rectangle, returning the pieces inside.
+pub fn clip_linestring(ls: &LineString, rect: Envelope) -> Vec<LineString> {
+    let mut pieces: Vec<Vec<f64>> = Vec::new();
+    let mut current: Vec<f64> = Vec::new();
+    for (a, b) in ls.segments() {
+        if let Some((ca, cb)) = clip_segment(a, b, rect) {
+            let connects = current
+                .rchunks_exact(2)
+                .next()
+                .map(|last| last[0] == ca.x && last[1] == ca.y)
+                .unwrap_or(false);
+            if !connects {
+                if current.len() >= 4 {
+                    pieces.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+                current.push(ca.x);
+                current.push(ca.y);
+            }
+            current.push(cb.x);
+            current.push(cb.y);
+        }
+    }
+    if current.len() >= 4 {
+        pieces.push(current);
+    }
+    pieces
+        .into_iter()
+        .filter_map(|c| LineString::new(c).ok())
+        .collect()
+}
+
+/// Liang–Barsky segment clipping; `None` when fully outside.
+fn clip_segment(a: Point, b: Point, rect: Envelope) -> Option<(Point, Point)> {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    for (p, q) in [
+        (-dx, a.x - rect.min_x),
+        (dx, rect.max_x - a.x),
+        (-dy, a.y - rect.min_y),
+        (dy, rect.max_y - a.y),
+    ] {
+        if p == 0.0 {
+            if q < 0.0 {
+                return None;
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                t0 = t0.max(r);
+            } else {
+                t1 = t1.min(r);
+            }
+            if t0 > t1 {
+                return None;
+            }
+        }
+    }
+    Some((
+        Point::new(a.x + t0 * dx, a.y + t0 * dy),
+        Point::new(a.x + t1 * dx, a.y + t1 * dy),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_fully_inside_is_identity_shaped() {
+        let poly = Polygon::rectangle(Envelope::new(1.0, 1.0, 2.0, 2.0));
+        let clipped = clip_polygon(&poly, Envelope::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap()
+            .unwrap();
+        assert!((clipped.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_partial_overlap_has_intersection_area() {
+        let poly = Polygon::rectangle(Envelope::new(0.0, 0.0, 4.0, 4.0));
+        let clipped = clip_polygon(&poly, Envelope::new(2.0, 2.0, 10.0, 10.0))
+            .unwrap()
+            .unwrap();
+        assert!((clipped.area() - 4.0).abs() < 1e-12); // 2×2 corner
+    }
+
+    #[test]
+    fn clip_disjoint_is_none() {
+        let poly = Polygon::rectangle(Envelope::new(0.0, 0.0, 1.0, 1.0));
+        assert!(clip_polygon(&poly, Envelope::new(5.0, 5.0, 6.0, 6.0))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn clip_triangle_against_window() {
+        let tri = Polygon::from_coords(vec![0.0, 0.0, 8.0, 0.0, 0.0, 8.0], vec![]).unwrap();
+        // Inside [0,4]^2 the constraint x+y <= 8 always holds, so the
+        // clip is the whole window.
+        let clipped = clip_polygon(&tri, Envelope::new(0.0, 0.0, 4.0, 4.0))
+            .unwrap()
+            .unwrap();
+        assert!((clipped.area() - 16.0).abs() < 1e-9);
+        // Inside [2,6]^2 the hypotenuse x+y = 8 cuts off the corner
+        // triangle (2,6)-(6,2)-(6,6) of area 8, leaving 16 - 8 = 8.
+        let smaller = clip_polygon(&tri, Envelope::new(2.0, 2.0, 6.0, 6.0))
+            .unwrap()
+            .unwrap();
+        assert!((smaller.area() - 8.0).abs() < 1e-9);
+        // Inside [4,8]^2 the intersection is the single point (4,4):
+        // degenerate, reported as empty.
+        assert!(clip_polygon(&tri, Envelope::new(4.0, 4.0, 8.0, 8.0))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn polygon_with_holes_is_rejected() {
+        let poly = Polygon::from_coords(
+            vec![0.0, 0.0, 4.0, 0.0, 4.0, 4.0, 0.0, 4.0],
+            vec![vec![1.0, 1.0, 2.0, 1.0, 2.0, 2.0, 1.0, 2.0]],
+        )
+        .unwrap();
+        assert!(clip_polygon(&poly, Envelope::new(0.0, 0.0, 1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn clip_linestring_produces_inside_pieces() {
+        let ls = LineString::new(vec![-2.0, 1.0, 12.0, 1.0]).unwrap(); // crosses window
+        let rect = Envelope::new(0.0, 0.0, 10.0, 10.0);
+        let pieces = clip_linestring(&ls, rect);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].point(0), Point::new(0.0, 1.0));
+        assert_eq!(pieces[0].point(1), Point::new(10.0, 1.0));
+
+        // A zig-zag leaving and re-entering produces two pieces.
+        let zig = LineString::new(vec![1.0, 1.0, 1.0, 12.0, 5.0, 12.0, 5.0, 1.0]).unwrap();
+        let pieces = clip_linestring(&zig, rect);
+        assert_eq!(pieces.len(), 2);
+
+        // Fully outside → nothing.
+        let out = LineString::new(vec![20.0, 20.0, 30.0, 30.0]).unwrap();
+        assert!(clip_linestring(&out, rect).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Distance computations (the `NearestD` predicate of the paper).
+
+use crate::algorithms::segment::point_segment_distance_sq;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Minimum distance from a point to a polyline (0 when on the line).
+pub fn point_to_linestring(p: Point, ls: &LineString) -> f64 {
+    let mut best = f64::INFINITY;
+    for (a, b) in ls.segments() {
+        let d = point_segment_distance_sq(p, a, b);
+        if d < best {
+            best = d;
+            if best == 0.0 {
+                break;
+            }
+        }
+    }
+    best.sqrt()
+}
+
+/// True when the point is within `distance` of the polyline.
+///
+/// Prunes with the polyline envelope first, then compares squared
+/// distances segment by segment with early exit — the hot path of the
+/// taxi-lion experiments.
+pub fn point_within_distance_of_linestring(p: Point, ls: &LineString, distance: f64) -> bool {
+    use crate::HasEnvelope;
+    if ls.envelope().distance_to_point(p) > distance {
+        return false;
+    }
+    let d_sq = distance * distance;
+    for (a, b) in ls.segments() {
+        if point_segment_distance_sq(p, a, b) <= d_sq {
+            return true;
+        }
+    }
+    false
+}
+
+/// Minimum distance from a point to a polygon: 0 when inside, otherwise
+/// the distance to the nearest boundary segment.
+pub fn point_to_polygon(p: Point, poly: &Polygon) -> f64 {
+    if poly.contains_point(p) {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    let mut scan_ring = |coords: &[f64]| {
+        let n = coords.len() / 2;
+        for i in 0..n.saturating_sub(1) {
+            let a = Point::new(coords[2 * i], coords[2 * i + 1]);
+            let b = Point::new(coords[2 * i + 2], coords[2 * i + 3]);
+            let d = point_segment_distance_sq(p, a, b);
+            if d < best {
+                best = d;
+            }
+        }
+    };
+    scan_ring(poly.exterior().coords());
+    for h in poly.holes() {
+        scan_ring(h.coords());
+    }
+    best.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Envelope;
+
+    #[test]
+    fn point_to_linestring_basics() {
+        let ls = LineString::new(vec![0.0, 0.0, 10.0, 0.0]).unwrap();
+        assert_eq!(point_to_linestring(Point::new(5.0, 2.0), &ls), 2.0);
+        assert_eq!(point_to_linestring(Point::new(5.0, 0.0), &ls), 0.0);
+        assert_eq!(point_to_linestring(Point::new(-3.0, 4.0), &ls), 5.0);
+    }
+
+    #[test]
+    fn within_distance_uses_envelope_prune() {
+        let ls = LineString::new(vec![0.0, 0.0, 10.0, 0.0]).unwrap();
+        assert!(point_within_distance_of_linestring(
+            Point::new(5.0, 1.0),
+            &ls,
+            1.0
+        ));
+        assert!(!point_within_distance_of_linestring(
+            Point::new(5.0, 1.01),
+            &ls,
+            1.0
+        ));
+        // Far outside the expanded envelope: prune path.
+        assert!(!point_within_distance_of_linestring(
+            Point::new(100.0, 100.0),
+            &ls,
+            1.0
+        ));
+    }
+
+    #[test]
+    fn multi_segment_minimum() {
+        let ls = LineString::new(vec![0.0, 0.0, 0.0, 10.0, 10.0, 10.0]).unwrap();
+        let d = point_to_linestring(Point::new(9.0, 8.0), &ls);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_to_polygon_inside_is_zero() {
+        let poly = Polygon::rectangle(Envelope::new(0.0, 0.0, 4.0, 4.0));
+        assert_eq!(point_to_polygon(Point::new(2.0, 2.0), &poly), 0.0);
+        assert_eq!(point_to_polygon(Point::new(7.0, 2.0), &poly), 3.0);
+    }
+
+    #[test]
+    fn point_to_polygon_respects_holes() {
+        let poly = Polygon::from_coords(
+            vec![0.0, 0.0, 6.0, 0.0, 6.0, 6.0, 0.0, 6.0],
+            vec![vec![2.0, 2.0, 4.0, 2.0, 4.0, 4.0, 2.0, 4.0]],
+        )
+        .unwrap();
+        // Centre of the hole: nearest boundary is the hole ring, 1 away.
+        assert_eq!(point_to_polygon(Point::new(3.0, 3.0), &poly), 1.0);
+    }
+}

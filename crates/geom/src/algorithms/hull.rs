@@ -1,0 +1,112 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! Used by the partitioners to derive tight partition boundaries from
+//! point samples, and generally useful library surface for a spatial
+//! kernel.
+
+use crate::error::GeomError;
+use crate::point::Point;
+use crate::polygon::Polygon;
+
+/// Computes the convex hull of a point set as a counter-clockwise
+/// polygon.
+///
+/// # Errors
+/// Fails with [`GeomError::Invalid`] when fewer than three
+/// non-collinear points are supplied (the hull would be degenerate).
+pub fn convex_hull(points: &[Point]) -> Result<Polygon, GeomError> {
+    if points.len() < 3 {
+        return Err(GeomError::Invalid(
+            "convex hull needs at least three points".into(),
+        ));
+    }
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    if pts.len() < 3 {
+        return Err(GeomError::Invalid(
+            "convex hull needs at least three distinct points".into(),
+        ));
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+
+    if lower.len() < 3 {
+        return Err(GeomError::Invalid(
+            "all points are collinear; hull is degenerate".into(),
+        ));
+    }
+    let mut coords = Vec::with_capacity((lower.len() + 1) * 2);
+    for p in &lower {
+        coords.push(p.x);
+        coords.push(p.y);
+    }
+    coords.push(lower[0].x);
+    coords.push(lower[0].y);
+    Polygon::from_coords(coords, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(1.0, 3.0), // interior
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.exterior().num_points(), 5); // 4 corners + closure
+        assert_eq!(hull.area(), 16.0);
+        // All inputs are contained.
+        for p in &pts {
+            assert!(hull.contains_point(*p));
+        }
+        // CCW orientation.
+        assert!(hull.exterior().signed_area() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(convex_hull(&[]).is_err());
+        assert!(convex_hull(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).is_err());
+        // Collinear points have no 2-D hull.
+        let collinear: Vec<Point> = (0..10).map(|i| Point::new(i as f64, i as f64)).collect();
+        assert!(convex_hull(&collinear).is_err());
+        // Duplicates collapse.
+        let dups = vec![Point::new(0.0, 0.0); 8];
+        assert!(convex_hull(&dups).is_err());
+    }
+
+    #[test]
+    fn hull_contains_every_random_input() {
+        let pts = crate::tests_support::pseudo_random_points(500, 7.0);
+        let hull = convex_hull(&pts).unwrap();
+        for p in &pts {
+            assert!(hull.contains_point(*p), "hull must contain input {p:?}");
+        }
+    }
+}

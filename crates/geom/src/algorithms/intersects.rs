@@ -1,0 +1,218 @@
+//! Intersection predicates between geometry types.
+//!
+//! §IV of the paper mentions that ISP-MC's refinement UDFs wrap the
+//! library's "intersect and contains" operations; these are the
+//! from-scratch equivalents, used by the polygon-polygon and
+//! polyline-polygon join extensions.
+
+use crate::algorithms::pip::point_in_ring;
+use crate::algorithms::segment::cross;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::HasEnvelope;
+
+/// True when the closed segments `a1..a2` and `b1..b2` share at least
+/// one point (properly crossing, touching, or collinear-overlapping).
+pub fn segments_intersect(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
+    let d1 = cross(b1, b2, a1);
+    let d2 = cross(b1, b2, a2);
+    let d3 = cross(a1, a2, b1);
+    let d4 = cross(a1, a2, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    // Collinear / endpoint-touching cases.
+    (d1 == 0.0 && on_segment_collinear(b1, b2, a1))
+        || (d2 == 0.0 && on_segment_collinear(b1, b2, a2))
+        || (d3 == 0.0 && on_segment_collinear(a1, a2, b1))
+        || (d4 == 0.0 && on_segment_collinear(a1, a2, b2))
+}
+
+/// For a point `p` known collinear with `a..b`: is it within the
+/// segment's bounding range?
+fn on_segment_collinear(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Iterates over the segments of a closed ring given as a flat array.
+fn ring_segments(coords: &[f64]) -> impl Iterator<Item = (Point, Point)> + '_ {
+    let n = coords.len() / 2;
+    (0..n.saturating_sub(1)).map(move |i| {
+        (
+            Point::new(coords[2 * i], coords[2 * i + 1]),
+            Point::new(coords[2 * i + 2], coords[2 * i + 3]),
+        )
+    })
+}
+
+/// True when the polyline and polygon share at least one point: any
+/// segment crosses the boundary, or the polyline lies (partly) inside.
+pub fn linestring_intersects_polygon(ls: &LineString, poly: &Polygon) -> bool {
+    if !ls.envelope().intersects(&poly.envelope()) {
+        return false;
+    }
+    // Any vertex inside is enough (covers fully-interior polylines).
+    if poly.contains_point(ls.point(0)) {
+        return true;
+    }
+    // Otherwise some segment must cross a ring.
+    let mut rings: Vec<&[f64]> = vec![poly.exterior().coords()];
+    rings.extend(poly.holes().iter().map(|h| h.coords()));
+    for (a, b) in ls.segments() {
+        for ring in &rings {
+            for (c, d) in ring_segments(ring) {
+                if segments_intersect(a, b, c, d) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// True when the two polygons share at least one point: boundary
+/// crossing, containment of one in the other, or touching.
+pub fn polygons_intersect(a: &Polygon, b: &Polygon) -> bool {
+    if !a.envelope().intersects(&b.envelope()) {
+        return false;
+    }
+    // Containment without boundary crossing: test one vertex each way.
+    if b.contains_point(a.exterior().point(0)) || a.contains_point(b.exterior().point(0)) {
+        return true;
+    }
+    for (s1, s2) in ring_segments(a.exterior().coords()) {
+        for (t1, t2) in ring_segments(b.exterior().coords()) {
+            if segments_intersect(s1, s2, t1, t2) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True when polygon `inner` lies entirely within polygon `outer`
+/// (boundary contact allowed): every vertex of `inner` is contained and
+/// no edge of `inner` crosses out through a hole of `outer`.
+pub fn polygon_contains_polygon(outer: &Polygon, inner: &Polygon) -> bool {
+    if !outer.envelope().contains_envelope(&inner.envelope()) {
+        return false;
+    }
+    let n = inner.exterior().num_points();
+    for i in 0..n {
+        if !outer.contains_point(inner.exterior().point(i)) {
+            return false;
+        }
+    }
+    // Vertices inside but an edge could still dip into a hole.
+    for hole in outer.holes() {
+        for (a, b) in ring_segments(inner.exterior().coords()) {
+            let mid = Point::new((a.x + b.x) * 0.5, (a.y + b.y) * 0.5);
+            if point_in_ring(mid, hole.coords())
+                && !crate::algorithms::pip::point_on_ring(mid, hole.coords())
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Envelope;
+
+    fn square(x: f64, y: f64, s: f64) -> Polygon {
+        Polygon::rectangle(Envelope::new(x, y, x + s, y + s))
+    }
+
+    #[test]
+    fn segment_crossing_cases() {
+        let o = Point::new(0.0, 0.0);
+        assert!(segments_intersect(
+            o,
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 0.0)
+        ));
+        // Touching at an endpoint.
+        assert!(segments_intersect(
+            o,
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 5.0)
+        ));
+        // Collinear overlap.
+        assert!(segments_intersect(
+            o,
+            Point::new(3.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(5.0, 0.0)
+        ));
+        // Collinear but disjoint.
+        assert!(!segments_intersect(
+            o,
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0)
+        ));
+        // Parallel, offset.
+        assert!(!segments_intersect(
+            o,
+            Point::new(2.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(2.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn line_polygon_cases() {
+        let poly = square(0.0, 0.0, 4.0);
+        // Crossing through.
+        let crossing = LineString::new(vec![-1.0, 2.0, 5.0, 2.0]).unwrap();
+        assert!(linestring_intersects_polygon(&crossing, &poly));
+        // Fully inside.
+        let inside = LineString::new(vec![1.0, 1.0, 2.0, 2.0]).unwrap();
+        assert!(linestring_intersects_polygon(&inside, &poly));
+        // Fully outside.
+        let outside = LineString::new(vec![5.0, 5.0, 6.0, 6.0]).unwrap();
+        assert!(!linestring_intersects_polygon(&outside, &poly));
+        // Outside but envelope-overlapping (diagonal corner miss).
+        let graze = LineString::new(vec![-2.0, 3.5, 3.5, 9.0]).unwrap();
+        assert!(!linestring_intersects_polygon(&graze, &poly));
+    }
+
+    #[test]
+    fn polygon_polygon_cases() {
+        let a = square(0.0, 0.0, 4.0);
+        assert!(polygons_intersect(&a, &square(2.0, 2.0, 4.0))); // overlap
+        assert!(polygons_intersect(&a, &square(1.0, 1.0, 2.0))); // contains
+        assert!(polygons_intersect(&square(1.0, 1.0, 2.0), &a)); // contained
+        assert!(polygons_intersect(&a, &square(4.0, 0.0, 2.0))); // touching edge
+        assert!(!polygons_intersect(&a, &square(5.0, 5.0, 1.0))); // disjoint
+    }
+
+    #[test]
+    fn polygon_containment_with_holes() {
+        let outer = Polygon::from_coords(
+            vec![0.0, 0.0, 10.0, 0.0, 10.0, 10.0, 0.0, 10.0],
+            vec![vec![4.0, 4.0, 6.0, 4.0, 6.0, 6.0, 4.0, 6.0]],
+        )
+        .unwrap();
+        assert!(polygon_contains_polygon(&outer, &square(1.0, 1.0, 2.0)));
+        // Straddles the hole: vertices inside, edge midpoint in the hole.
+        let straddle = Polygon::from_coords(
+            vec![3.0, 4.5, 7.0, 4.5, 7.0, 5.5, 3.0, 5.5],
+            vec![],
+        )
+        .unwrap();
+        assert!(!polygon_contains_polygon(&outer, &straddle));
+        // Outside entirely.
+        assert!(!polygon_contains_polygon(&outer, &square(9.0, 9.0, 5.0)));
+        // Containment is not symmetric.
+        assert!(!polygon_contains_polygon(&square(1.0, 1.0, 2.0), &outer));
+    }
+}

@@ -1,0 +1,14 @@
+//! Low-level computational-geometry routines shared by both refinement
+//! engines.
+//!
+//! The paper calls this layer *spatial refinement*: "evaluating the
+//! spatial relationships between the paired spatial objects", which
+//! "relies on efficient computational geometry algorithms" (§II).
+
+pub mod clip;
+pub mod distance;
+pub mod hull;
+pub mod intersects;
+pub mod pip;
+pub mod simplify;
+pub mod segment;

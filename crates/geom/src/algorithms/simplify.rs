@@ -1,0 +1,118 @@
+//! Polyline simplification (Ramer–Douglas–Peucker).
+//!
+//! Used to thin dense polylines and trajectories while bounding the
+//! spatial error — directly useful for the trajectory workloads the
+//! paper names as future work, and for shrinking the vertex-heavy wwf
+//! boundaries.
+
+use crate::algorithms::segment::point_segment_distance_sq;
+use crate::error::GeomError;
+use crate::linestring::LineString;
+use crate::point::Point;
+
+/// Simplifies a polyline, keeping every retained vertex within
+/// `tolerance` of the original line.
+///
+/// # Errors
+/// Propagates construction errors (cannot happen for valid input: the
+/// endpoints are always retained).
+pub fn simplify_linestring(ls: &LineString, tolerance: f64) -> Result<LineString, GeomError> {
+    let n = ls.num_points();
+    if n <= 2 {
+        return LineString::new(ls.coords().to_vec());
+    }
+    let pts: Vec<Point> = (0..n).map(|i| ls.point(i)).collect();
+    let keep = simplify_points(&pts, tolerance);
+    let coords: Vec<f64> = keep.iter().flat_map(|p| [p.x, p.y]).collect();
+    LineString::new(coords)
+}
+
+/// Core RDP over a point slice; always keeps the first and last points.
+pub fn simplify_points(pts: &[Point], tolerance: f64) -> Vec<Point> {
+    if pts.len() <= 2 {
+        return pts.to_vec();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    let tol_sq = tolerance * tolerance;
+
+    // Iterative stack to avoid recursion depth on long trajectories.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo + 1, -1.0f64);
+        for i in lo + 1..hi {
+            let d = point_segment_distance_sq(pts[i], pts[lo], pts[hi]);
+            if d > worst_d {
+                worst_d = d;
+                worst = i;
+            }
+        }
+        if worst_d > tol_sq {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    pts.iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let ls = LineString::new(
+            (0..20).flat_map(|i| [i as f64, 0.0]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let s = simplify_linestring(&ls, 0.01).unwrap();
+        assert_eq!(s.num_points(), 2);
+        assert_eq!(s.point(0), Point::new(0.0, 0.0));
+        assert_eq!(s.point(1), Point::new(19.0, 0.0));
+    }
+
+    #[test]
+    fn significant_corners_survive() {
+        let ls = LineString::new(vec![0.0, 0.0, 5.0, 0.0, 5.0, 5.0, 10.0, 5.0]).unwrap();
+        let s = simplify_linestring(&ls, 0.5).unwrap();
+        assert_eq!(s.num_points(), 4, "right-angle corners must be kept");
+    }
+
+    #[test]
+    fn error_is_bounded_by_tolerance() {
+        // A noisy sine curve.
+        let pts: Vec<Point> = (0..200)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                Point::new(x, x.sin() + ((i * 7919) % 13) as f64 * 0.001)
+            })
+            .collect();
+        let tol = 0.05;
+        let kept = simplify_points(&pts, tol);
+        assert!(kept.len() < pts.len());
+        // Every original point is within tol of the simplified chain.
+        let chain = LineString::from_points(&kept).unwrap();
+        for p in &pts {
+            assert!(
+                chain.distance_to_point(*p) <= tol + 1e-9,
+                "point {p:?} exceeds tolerance"
+            );
+        }
+    }
+
+    #[test]
+    fn two_point_line_is_unchanged() {
+        let ls = LineString::new(vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let s = simplify_linestring(&ls, 100.0).unwrap();
+        assert_eq!(s, ls);
+    }
+}

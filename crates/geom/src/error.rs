@@ -1,0 +1,53 @@
+//! Error types for the geometry kernel.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// WKT text could not be tokenized or parsed. Carries a human-readable
+    /// message and the byte offset where parsing failed.
+    WktParse { message: String, offset: usize },
+    /// A geometry failed a structural invariant (e.g. a ring with fewer
+    /// than four points, or an unclosed ring).
+    Invalid(String),
+    /// The operation is not defined for the given geometry type.
+    UnsupportedGeometry(&'static str),
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::WktParse { message, offset } => {
+                write!(f, "WKT parse error at byte {offset}: {message}")
+            }
+            GeomError::Invalid(msg) => write!(f, "invalid geometry: {msg}"),
+            GeomError::UnsupportedGeometry(what) => {
+                write!(f, "unsupported geometry type for this operation: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GeomError::WktParse {
+            message: "expected number".into(),
+            offset: 7,
+        };
+        assert_eq!(e.to_string(), "WKT parse error at byte 7: expected number");
+        assert_eq!(
+            GeomError::Invalid("ring not closed".into()).to_string(),
+            "invalid geometry: ring not closed"
+        );
+        assert!(GeomError::UnsupportedGeometry("CURVE")
+            .to_string()
+            .contains("CURVE"));
+    }
+}

@@ -1,0 +1,78 @@
+//! # geom — computational geometry kernel
+//!
+//! A from-scratch geometry library providing everything the spatial join
+//! systems in this workspace need:
+//!
+//! * a geometry model ([`Point`], [`LineString`], [`Polygon`],
+//!   [`MultiPolygon`], [`MultiLineString`], [`Geometry`]) backed by flat
+//!   `f64` coordinate arrays,
+//! * axis-aligned bounding boxes ([`Envelope`]) with the usual algebra,
+//! * a Well-Known Text reader and writer ([`wkt`]),
+//! * the computational-geometry predicates used by the paper's two join
+//!   types: point-in-polygon tests (`Within`) and point-to-polyline
+//!   distance (`NearestD`),
+//! * two interchangeable *refinement engines* (see [`engine`]):
+//!   [`engine::PreparedEngine`] models JTS (flat arrays, prepared
+//!   geometries, no per-call allocation) and [`engine::NaiveEngine`]
+//!   models GEOS as characterised by the paper — it "frequently creates
+//!   and destroys small objects", which is exactly what makes it slow.
+//!
+//! Both engines produce bit-identical predicate results; they differ only
+//! in memory discipline and therefore speed. The paper attributes most of
+//! SpatialSpark's advantage over ISP-MC to this difference (§V.B).
+
+pub mod algorithms;
+pub mod binary;
+pub mod engine;
+pub mod envelope;
+pub mod error;
+pub mod geometry;
+pub mod linestring;
+pub mod multi;
+pub mod naive;
+pub mod point;
+pub mod trajectory;
+pub mod polygon;
+pub mod prepared;
+pub mod wkt;
+
+pub use envelope::Envelope;
+pub use error::GeomError;
+pub use geometry::Geometry;
+pub use linestring::LineString;
+pub use multi::{MultiLineString, MultiPoint, MultiPolygon};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use prepared::{PreparedLineString, PreparedPolygon};
+pub use trajectory::Trajectory;
+
+/// Anything with a minimum bounding box.
+///
+/// Spatial filtering (the first phase of the filter-refine pipeline) works
+/// purely on envelopes, so every indexable type implements this.
+pub trait HasEnvelope {
+    /// The minimum bounding box of the object.
+    fn envelope(&self) -> Envelope;
+}
+
+impl HasEnvelope for Envelope {
+    fn envelope(&self) -> Envelope {
+        *self
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use crate::point::Point;
+
+    /// Deterministic pseudo-random points without a rand dependency in
+    /// the library itself (LCG-based).
+    pub fn pseudo_random_points(n: usize, spread: f64) -> Vec<Point> {
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / u32::MAX as f64 - 0.5) * 2.0 * spread
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    }
+}

@@ -1,0 +1,131 @@
+//! Multi-part geometries.
+
+use crate::envelope::Envelope;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::HasEnvelope;
+
+/// A collection of points (MULTIPOINT).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiPoint {
+    pub points: Vec<Point>,
+}
+
+impl MultiPoint {
+    pub fn new(points: Vec<Point>) -> MultiPoint {
+        MultiPoint { points }
+    }
+}
+
+impl HasEnvelope for MultiPoint {
+    fn envelope(&self) -> Envelope {
+        self.points
+            .iter()
+            .fold(Envelope::EMPTY, |e, p| e.union(&p.envelope()))
+    }
+}
+
+/// A collection of polylines (MULTILINESTRING). The LION street network
+/// contains a few of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiLineString {
+    pub lines: Vec<LineString>,
+}
+
+impl MultiLineString {
+    pub fn new(lines: Vec<LineString>) -> MultiLineString {
+        MultiLineString { lines }
+    }
+
+    /// Total vertex count across all parts.
+    pub fn num_points(&self) -> usize {
+        self.lines.iter().map(LineString::num_points).sum()
+    }
+
+    /// Minimum distance from the point to any part.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.lines
+            .iter()
+            .map(|l| l.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl HasEnvelope for MultiLineString {
+    fn envelope(&self) -> Envelope {
+        self.lines
+            .iter()
+            .fold(Envelope::EMPTY, |e, l| e.union(&l.envelope()))
+    }
+}
+
+/// A collection of polygons (MULTIPOLYGON). WWF ecoregions are mostly
+/// multipolygons (archipelagos, disjoint ranges).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPolygon {
+    pub polygons: Vec<Polygon>,
+}
+
+impl MultiPolygon {
+    pub fn new(polygons: Vec<Polygon>) -> MultiPolygon {
+        MultiPolygon { polygons }
+    }
+
+    /// Total vertex count across all parts.
+    pub fn num_points(&self) -> usize {
+        self.polygons.iter().map(Polygon::num_points).sum()
+    }
+
+    /// Total enclosed area.
+    pub fn area(&self) -> f64 {
+        self.polygons.iter().map(Polygon::area).sum()
+    }
+
+    /// True when any part contains the point.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.polygons.iter().any(|poly| poly.contains_point(p))
+    }
+}
+
+impl HasEnvelope for MultiPolygon {
+    fn envelope(&self) -> Envelope {
+        self.polygons
+            .iter()
+            .fold(Envelope::EMPTY, |e, p| e.union(&p.envelope()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipolygon_contains_any_part() {
+        let a = Polygon::rectangle(Envelope::new(0.0, 0.0, 1.0, 1.0));
+        let b = Polygon::rectangle(Envelope::new(5.0, 5.0, 6.0, 6.0));
+        let mp = MultiPolygon::new(vec![a, b]);
+        assert!(mp.contains_point(Point::new(0.5, 0.5)));
+        assert!(mp.contains_point(Point::new(5.5, 5.5)));
+        assert!(!mp.contains_point(Point::new(3.0, 3.0)));
+        assert_eq!(mp.area(), 2.0);
+        assert_eq!(mp.envelope(), Envelope::new(0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn multilinestring_distance_is_min_over_parts() {
+        let l1 = LineString::new(vec![0.0, 0.0, 1.0, 0.0]).unwrap();
+        let l2 = LineString::new(vec![0.0, 10.0, 1.0, 10.0]).unwrap();
+        let ml = MultiLineString::new(vec![l1, l2]);
+        assert_eq!(ml.distance_to_point(Point::new(0.5, 2.0)), 2.0);
+        assert_eq!(ml.distance_to_point(Point::new(0.5, 9.0)), 1.0);
+        assert_eq!(ml.num_points(), 4);
+    }
+
+    #[test]
+    fn multipoint_envelope() {
+        let mp = MultiPoint::new(vec![Point::new(1.0, 2.0), Point::new(-3.0, 4.0)]);
+        assert_eq!(mp.envelope(), Envelope::new(-3.0, 2.0, 1.0, 4.0));
+        assert!(MultiPoint::default().envelope().is_empty());
+    }
+}

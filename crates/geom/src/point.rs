@@ -1,0 +1,74 @@
+//! Points in the plane.
+
+use crate::envelope::Envelope;
+use crate::HasEnvelope;
+
+/// A 2-D point. Coordinates are `f64` (longitude/latitude in the paper's
+/// datasets, but the kernel is unit-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — cheaper when only comparisons are
+    /// needed (e.g. nearest-neighbour pruning).
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl HasEnvelope for Point {
+    fn envelope(&self) -> Envelope {
+        Envelope::of_point(*self)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+
+    #[test]
+    fn envelope_is_degenerate() {
+        let p = Point::new(2.0, -1.0);
+        let e = p.envelope();
+        assert_eq!(e.min_x, 2.0);
+        assert_eq!(e.max_x, 2.0);
+        assert_eq!(e.area(), 0.0);
+        assert!(e.contains(2.0, -1.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p, Point::new(1.5, 2.5));
+    }
+}

@@ -1,0 +1,255 @@
+//! Polygons with optional holes (POLYGON in WKT).
+
+use crate::envelope::Envelope;
+use crate::error::GeomError;
+use crate::point::Point;
+use crate::HasEnvelope;
+
+/// A closed linear ring stored as a flat `[x0, y0, ...]` array.
+///
+/// Invariants enforced at construction: at least four points and the
+/// first point equals the last point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring {
+    coords: Vec<f64>,
+    env: Envelope,
+}
+
+impl Ring {
+    /// Builds a ring, closing it automatically if the input is not closed.
+    ///
+    /// # Errors
+    /// Fails on odd-length arrays or rings with fewer than three distinct
+    /// points.
+    pub fn new(mut coords: Vec<f64>) -> Result<Ring, GeomError> {
+        if !coords.len().is_multiple_of(2) {
+            return Err(GeomError::Invalid(
+                "coordinate array must have even length".into(),
+            ));
+        }
+        if coords.len() < 6 {
+            return Err(GeomError::Invalid(
+                "a ring needs at least three points".into(),
+            ));
+        }
+        let n = coords.len();
+        let closed = coords[0] == coords[n - 2] && coords[1] == coords[n - 1];
+        if !closed {
+            coords.push(coords[0]);
+            coords.push(coords[1]);
+        }
+        if coords.len() < 8 {
+            return Err(GeomError::Invalid(
+                "a closed ring needs at least four points".into(),
+            ));
+        }
+        let env = Envelope::of_coords(&coords);
+        Ok(Ring { coords, env })
+    }
+
+    /// Number of vertices, including the repeated closing vertex.
+    pub fn num_points(&self) -> usize {
+        self.coords.len() / 2
+    }
+
+    /// Vertex `i` (panics when out of range).
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.coords[2 * i], self.coords[2 * i + 1])
+    }
+
+    /// The flat coordinate array (closed: first point == last point).
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Signed area: positive for counter-clockwise rings.
+    pub fn signed_area(&self) -> f64 {
+        let c = &self.coords;
+        let n = c.len() / 2;
+        let mut sum = 0.0;
+        for i in 0..n - 1 {
+            let (x1, y1) = (c[2 * i], c[2 * i + 1]);
+            let (x2, y2) = (c[2 * i + 2], c[2 * i + 3]);
+            sum += x1 * y2 - x2 * y1;
+        }
+        sum * 0.5
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Point-in-ring test by ray casting (boundary points count as inside).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if !self.env.contains(p.x, p.y) {
+            return false;
+        }
+        crate::algorithms::pip::point_in_ring(p, &self.coords)
+    }
+}
+
+impl HasEnvelope for Ring {
+    fn envelope(&self) -> Envelope {
+        self.env
+    }
+}
+
+/// A polygon: one exterior ring plus zero or more interior rings (holes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    exterior: Ring,
+    holes: Vec<Ring>,
+}
+
+impl Polygon {
+    /// Builds a polygon from an exterior ring and holes.
+    pub fn new(exterior: Ring, holes: Vec<Ring>) -> Polygon {
+        Polygon { exterior, holes }
+    }
+
+    /// Convenience constructor from flat coordinate arrays.
+    pub fn from_coords(exterior: Vec<f64>, holes: Vec<Vec<f64>>) -> Result<Polygon, GeomError> {
+        let exterior = Ring::new(exterior)?;
+        let holes = holes.into_iter().map(Ring::new).collect::<Result<_, _>>()?;
+        Ok(Polygon { exterior, holes })
+    }
+
+    /// An axis-aligned rectangle polygon, handy in tests and generators.
+    pub fn rectangle(env: Envelope) -> Polygon {
+        let Envelope {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        } = env;
+        Polygon::from_coords(
+            vec![
+                min_x, min_y, max_x, min_y, max_x, max_y, min_x, max_y, min_x, min_y,
+            ],
+            vec![],
+        )
+        .expect("rectangle coordinates are always a valid ring")
+    }
+
+    /// The exterior ring.
+    pub fn exterior(&self) -> &Ring {
+        &self.exterior
+    }
+
+    /// The interior rings (holes).
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    /// Total vertex count across all rings. The paper reports this per
+    /// dataset (nycb ≈ 9, wwf ≈ 279) because refinement cost scales with
+    /// it.
+    pub fn num_points(&self) -> usize {
+        self.exterior.num_points() + self.holes.iter().map(Ring::num_points).sum::<usize>()
+    }
+
+    /// Enclosed area (exterior minus holes).
+    pub fn area(&self) -> f64 {
+        self.exterior.area() - self.holes.iter().map(Ring::area).sum::<f64>()
+    }
+
+    /// Point-in-polygon test: inside the exterior and outside every hole.
+    /// Boundary points count as inside.
+    pub fn contains_point(&self, p: Point) -> bool {
+        if !self.exterior.contains_point(p) {
+            return false;
+        }
+        // A point on a hole's boundary is still part of the polygon, so
+        // only strictly-interior hole hits exclude the point. Ray casting
+        // treats boundary as inside, which matches "not contained" only
+        // for interior points; the boundary subtlety is handled in the
+        // shared pip routine.
+        !self
+            .holes
+            .iter()
+            .any(|h| h.contains_point(p) && !crate::algorithms::pip::point_on_ring(p, h.coords()))
+    }
+}
+
+impl HasEnvelope for Polygon {
+    fn envelope(&self) -> Envelope {
+        self.exterior.envelope()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(Envelope::new(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn ring_auto_closes() {
+        let r = Ring::new(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(r.num_points(), 4);
+        assert_eq!(r.point(0), r.point(3));
+    }
+
+    #[test]
+    fn ring_rejects_too_few_points() {
+        assert!(Ring::new(vec![0.0, 0.0, 1.0, 1.0]).is_err());
+        assert!(Ring::new(vec![0.0, 0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        let ccw = Ring::new(vec![0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0]).unwrap();
+        assert!(ccw.signed_area() > 0.0);
+        let cw = Ring::new(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!(cw.signed_area() < 0.0);
+        assert_eq!(ccw.area(), 1.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn square_contains_interior_and_boundary() {
+        let sq = unit_square();
+        assert!(sq.contains_point(Point::new(0.5, 0.5)));
+        assert!(sq.contains_point(Point::new(0.0, 0.5))); // edge
+        assert!(sq.contains_point(Point::new(1.0, 1.0))); // corner
+        assert!(!sq.contains_point(Point::new(1.5, 0.5)));
+        assert!(!sq.contains_point(Point::new(0.5, -0.0001)));
+    }
+
+    #[test]
+    fn hole_excludes_interior_but_not_its_boundary() {
+        let outer = vec![0.0, 0.0, 4.0, 0.0, 4.0, 4.0, 0.0, 4.0];
+        let hole = vec![1.0, 1.0, 3.0, 1.0, 3.0, 3.0, 1.0, 3.0];
+        let poly = Polygon::from_coords(outer, vec![hole]).unwrap();
+        assert!(!poly.contains_point(Point::new(2.0, 2.0))); // inside hole
+        assert!(poly.contains_point(Point::new(0.5, 0.5))); // in shell
+        assert!(poly.contains_point(Point::new(1.0, 2.0))); // on hole boundary
+        assert_eq!(poly.area(), 16.0 - 4.0);
+    }
+
+    #[test]
+    fn num_points_counts_all_rings() {
+        let outer = vec![0.0, 0.0, 4.0, 0.0, 4.0, 4.0, 0.0, 4.0];
+        let hole = vec![1.0, 1.0, 3.0, 1.0, 3.0, 3.0, 1.0, 3.0];
+        let poly = Polygon::from_coords(outer, vec![hole]).unwrap();
+        assert_eq!(poly.num_points(), 5 + 5);
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // L-shape: big square minus top-right quadrant.
+        let l = Polygon::from_coords(
+            vec![
+                0.0, 0.0, 2.0, 0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0, 2.0,
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert!(l.contains_point(Point::new(0.5, 1.5)));
+        assert!(l.contains_point(Point::new(1.5, 0.5)));
+        assert!(!l.contains_point(Point::new(1.5, 1.5)));
+    }
+}

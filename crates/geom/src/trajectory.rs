@@ -1,0 +1,261 @@
+//! Timestamped trajectories — the paper's closing future-work item
+//! ("we would like to apply similar designs to other non-relational
+//! data types, such as trajectory data").
+//!
+//! A trajectory is a time-ordered sequence of `(point, timestamp)`
+//! samples. The record format extends the workspace's tab-separated
+//! layout with a third column of comma-separated timestamps:
+//!
+//! ```text
+//! id \t LINESTRING (x0 y0, x1 y1, ...) \t t0,t1,...
+//! ```
+
+use crate::algorithms::intersects::linestring_intersects_polygon;
+use crate::envelope::Envelope;
+use crate::error::GeomError;
+use crate::linestring::LineString;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::HasEnvelope;
+
+/// A time-ordered sequence of positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    path: LineString,
+    /// One timestamp per vertex, non-decreasing, in seconds.
+    times: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from a path and matching timestamps.
+    ///
+    /// # Errors
+    /// Fails when lengths differ or timestamps decrease.
+    pub fn new(path: LineString, times: Vec<f64>) -> Result<Trajectory, GeomError> {
+        if times.len() != path.num_points() {
+            return Err(GeomError::Invalid(format!(
+                "trajectory has {} points but {} timestamps",
+                path.num_points(),
+                times.len()
+            )));
+        }
+        if times.windows(2).any(|w| w[1] < w[0]) {
+            return Err(GeomError::Invalid(
+                "trajectory timestamps must be non-decreasing".into(),
+            ));
+        }
+        Ok(Trajectory { path, times })
+    }
+
+    /// The spatial path.
+    pub fn path(&self) -> &LineString {
+        &self.path
+    }
+
+    /// The timestamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        match (self.times.first(), self.times.last()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Travelled distance (path length).
+    pub fn length(&self) -> f64 {
+        self.path.length()
+    }
+
+    /// Average speed in units/second; 0 for zero-duration trajectories.
+    pub fn average_speed(&self) -> f64 {
+        let d = self.duration();
+        if d > 0.0 {
+            self.length() / d
+        } else {
+            0.0
+        }
+    }
+
+    /// Position at time `t`, linearly interpolated between samples.
+    /// Clamps to the endpoints outside the time range.
+    pub fn position_at(&self, t: f64) -> Point {
+        let n = self.num_samples();
+        if t <= self.times[0] {
+            return self.path.point(0);
+        }
+        if t >= self.times[n - 1] {
+            return self.path.point(n - 1);
+        }
+        // Find the surrounding samples.
+        let mut i = 0;
+        while self.times[i + 1] < t {
+            i += 1;
+        }
+        let (t0, t1) = (self.times[i], self.times[i + 1]);
+        let (a, b) = (self.path.point(i), self.path.point(i + 1));
+        if t1 == t0 {
+            return a;
+        }
+        let f = (t - t0) / (t1 - t0);
+        Point::new(a.x + f * (b.x - a.x), a.y + f * (b.y - a.y))
+    }
+
+    /// True when the trajectory's path shares at least one point with
+    /// the polygon — the predicate of the trajectory-zone join.
+    pub fn passes_through(&self, zone: &Polygon) -> bool {
+        linestring_intersects_polygon(&self.path, zone)
+    }
+
+    /// Seconds spent inside the polygon, estimated by sampling each
+    /// segment at its midpoint and endpoints (exact for zones large
+    /// relative to the sampling interval).
+    pub fn dwell_time(&self, zone: &Polygon) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.num_samples().saturating_sub(1) {
+            let a = self.path.point(i);
+            let b = self.path.point(i + 1);
+            let mid = Point::new((a.x + b.x) * 0.5, (a.y + b.y) * 0.5);
+            let dt = self.times[i + 1] - self.times[i];
+            // Fraction of the segment inside, by 3-point sampling.
+            let inside = [a, mid, b]
+                .iter()
+                .filter(|p| zone.contains_point(**p))
+                .count();
+            total += dt * inside as f64 / 3.0;
+        }
+        total
+    }
+
+    /// Serialises to the `LINESTRING … \t t0,t1,…` record columns.
+    pub fn to_record(&self, id: i64) -> String {
+        let mut out = format!("{id}\t");
+        crate::wkt::write_into(
+            &crate::geometry::Geometry::LineString(self.path.clone()),
+            &mut out,
+        );
+        out.push('\t');
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{t}"));
+        }
+        out
+    }
+
+    /// Parses a `id \t wkt \t times` record.
+    ///
+    /// # Errors
+    /// Fails on malformed WKT, timestamps, or mismatched counts.
+    pub fn from_record(line: &str) -> Result<(i64, Trajectory), GeomError> {
+        let mut cols = line.split('\t');
+        let id = cols
+            .next()
+            .and_then(|c| c.trim().parse::<i64>().ok())
+            .ok_or_else(|| GeomError::Invalid("missing trajectory id".into()))?;
+        let wkt = cols
+            .next()
+            .ok_or_else(|| GeomError::Invalid("missing trajectory wkt".into()))?;
+        let times_col = cols
+            .next()
+            .ok_or_else(|| GeomError::Invalid("missing trajectory timestamps".into()))?;
+        let geom = crate::wkt::parse(wkt)?;
+        let path = match geom {
+            crate::geometry::Geometry::LineString(l) => l,
+            other => {
+                return Err(GeomError::Invalid(format!(
+                    "trajectory path must be a LINESTRING, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        let times = times_col
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|_| GeomError::Invalid(format!("bad timestamp '{t}'")))
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        Ok((id, Trajectory::new(path, times)?))
+    }
+}
+
+impl HasEnvelope for Trajectory {
+    fn envelope(&self) -> Envelope {
+        self.path.envelope()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj() -> Trajectory {
+        Trajectory::new(
+            LineString::new(vec![0.0, 0.0, 10.0, 0.0, 10.0, 10.0]).unwrap(),
+            vec![0.0, 10.0, 30.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_invariants() {
+        let path = LineString::new(vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        assert!(Trajectory::new(path.clone(), vec![0.0]).is_err()); // count mismatch
+        assert!(Trajectory::new(path.clone(), vec![5.0, 1.0]).is_err()); // decreasing
+        assert!(Trajectory::new(path, vec![1.0, 1.0]).is_ok()); // equal ok (stopped)
+    }
+
+    #[test]
+    fn kinematics() {
+        let t = traj();
+        assert_eq!(t.duration(), 30.0);
+        assert_eq!(t.length(), 20.0);
+        assert!((t.average_speed() - 20.0 / 30.0).abs() < 1e-12);
+        assert_eq!(t.position_at(-5.0), Point::new(0.0, 0.0));
+        assert_eq!(t.position_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(t.position_at(20.0), Point::new(10.0, 5.0));
+        assert_eq!(t.position_at(99.0), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn zone_predicates() {
+        let t = traj();
+        let crossed = Polygon::rectangle(Envelope::new(4.0, -1.0, 6.0, 1.0));
+        assert!(t.passes_through(&crossed));
+        let missed = Polygon::rectangle(Envelope::new(20.0, 20.0, 30.0, 30.0));
+        assert!(!t.passes_through(&missed));
+        // Dwell time: the segment 0→10 s crosses x∈[4,6]; about 2/10 of
+        // that segment is inside, sampled as 1/3 (midpoint only).
+        let dwell = t.dwell_time(&crossed);
+        assert!(dwell > 0.0 && dwell < 10.0, "dwell {dwell}");
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let t = traj();
+        let line = t.to_record(42);
+        let (id, back) = Trajectory::from_record(&line).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn malformed_records_error() {
+        assert!(Trajectory::from_record("notanid\tLINESTRING (0 0, 1 1)\t0,1").is_err());
+        assert!(Trajectory::from_record("1\tPOINT (0 0)\t0").is_err());
+        assert!(Trajectory::from_record("1\tLINESTRING (0 0, 1 1)\t0,abc").is_err());
+        assert!(Trajectory::from_record("1\tLINESTRING (0 0, 1 1)").is_err());
+        assert!(Trajectory::from_record("1\tLINESTRING (0 0, 1 1)\t0,1,2").is_err());
+    }
+}

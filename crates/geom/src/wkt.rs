@@ -1,0 +1,412 @@
+//! Well-Known Text reader and writer.
+//!
+//! Both prototype systems in the paper store geometry as WKT strings in
+//! HDFS text files and parse them at run time ("we represent geometry as
+//! strings in the Well-Known-Text format", §IV), so the parser here is a
+//! hot path and written as a single-pass recursive-descent scanner over
+//! the input bytes with no intermediate token vector.
+
+use crate::error::GeomError;
+use crate::geometry::Geometry;
+use crate::linestring::LineString;
+use crate::multi::{MultiLineString, MultiPoint, MultiPolygon};
+use crate::point::Point;
+use crate::polygon::{Polygon, Ring};
+
+/// Parses one WKT geometry from `input`.
+///
+/// Accepts the six types used by the paper's datasets, case-insensitively,
+/// plus `EMPTY` collections.
+///
+/// # Errors
+/// Returns [`GeomError::WktParse`] with a byte offset on malformed input.
+pub fn parse(input: &str) -> Result<Geometry, GeomError> {
+    let mut p = Parser::new(input);
+    let geom = p.parse_geometry()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing characters after geometry"));
+    }
+    Ok(geom)
+}
+
+/// Serialises a geometry to WKT.
+pub fn write(geom: &Geometry) -> String {
+    let mut out = String::with_capacity(geom.num_points() * 16 + 16);
+    write_into(geom, &mut out);
+    out
+}
+
+/// Serialises a geometry to WKT, appending to an existing buffer (lets
+/// callers reuse one allocation per record batch).
+pub fn write_into(geom: &Geometry, out: &mut String) {
+    use std::fmt::Write;
+    match geom {
+        Geometry::Point(p) => {
+            let _ = write!(out, "POINT ({} {})", p.x, p.y);
+        }
+        Geometry::LineString(l) => {
+            out.push_str("LINESTRING ");
+            write_coord_list(l.coords(), out);
+        }
+        Geometry::Polygon(poly) => {
+            out.push_str("POLYGON ");
+            write_polygon_body(poly, out);
+        }
+        Geometry::MultiPoint(mp) => {
+            if mp.points.is_empty() {
+                out.push_str("MULTIPOINT EMPTY");
+                return;
+            }
+            out.push_str("MULTIPOINT (");
+            for (i, p) in mp.points.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "({} {})", p.x, p.y);
+            }
+            out.push(')');
+        }
+        Geometry::MultiLineString(ml) => {
+            if ml.lines.is_empty() {
+                out.push_str("MULTILINESTRING EMPTY");
+                return;
+            }
+            out.push_str("MULTILINESTRING (");
+            for (i, l) in ml.lines.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_coord_list(l.coords(), out);
+            }
+            out.push(')');
+        }
+        Geometry::MultiPolygon(mp) => {
+            if mp.polygons.is_empty() {
+                out.push_str("MULTIPOLYGON EMPTY");
+                return;
+            }
+            out.push_str("MULTIPOLYGON (");
+            for (i, poly) in mp.polygons.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_polygon_body(poly, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_coord_list(coords: &[f64], out: &mut String) {
+    use std::fmt::Write;
+    out.push('(');
+    for (i, pair) in coords.chunks_exact(2).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", pair[0], pair[1]);
+    }
+    out.push(')');
+}
+
+fn write_polygon_body(poly: &Polygon, out: &mut String) {
+    out.push('(');
+    write_coord_list(poly.exterior().coords(), out);
+    for h in poly.holes() {
+        out.push_str(", ");
+        write_coord_list(h.coords(), out);
+    }
+    out.push(')');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> GeomError {
+        GeomError::WktParse {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), GeomError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn consume_if(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads the next alphabetic keyword, upper-cased.
+    fn keyword(&mut self) -> Result<String, GeomError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a keyword"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("keyword bytes are ASCII")
+            .to_ascii_uppercase())
+    }
+
+    /// True (and consumed) when the next keyword is `EMPTY`.
+    fn try_empty(&mut self) -> bool {
+        self.skip_ws();
+        let rest = &self.bytes[self.pos..];
+        if rest.len() >= 5 && rest[..5].eq_ignore_ascii_case(b"EMPTY") {
+            self.pos += 5;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, GeomError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' => self.pos += 1,
+                _ => break,
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII")
+            .parse::<f64>()
+            .map_err(|_| GeomError::WktParse {
+                message: "malformed number".into(),
+                offset: start,
+            })
+    }
+
+    /// `( x y, x y, ... )` — a parenthesised coordinate list, returned flat.
+    fn coord_list(&mut self) -> Result<Vec<f64>, GeomError> {
+        self.expect(b'(')?;
+        let mut coords = Vec::with_capacity(16);
+        loop {
+            let x = self.number()?;
+            let y = self.number()?;
+            coords.push(x);
+            coords.push(y);
+            if !self.consume_if(b',') {
+                break;
+            }
+        }
+        self.expect(b')')?;
+        Ok(coords)
+    }
+
+    /// `( (ring), (ring), ... )` — a polygon body.
+    fn polygon_body(&mut self) -> Result<Polygon, GeomError> {
+        self.expect(b'(')?;
+        let exterior = Ring::new(self.coord_list()?)?;
+        let mut holes = Vec::new();
+        while self.consume_if(b',') {
+            holes.push(Ring::new(self.coord_list()?)?);
+        }
+        self.expect(b')')?;
+        Ok(Polygon::new(exterior, holes))
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, GeomError> {
+        let kw = self.keyword()?;
+        match kw.as_str() {
+            "POINT" => {
+                self.expect(b'(')?;
+                let x = self.number()?;
+                let y = self.number()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(Point::new(x, y)))
+            }
+            "LINESTRING" => {
+                let coords = self.coord_list()?;
+                Ok(Geometry::LineString(LineString::new(coords)?))
+            }
+            "POLYGON" => Ok(Geometry::Polygon(self.polygon_body()?)),
+            "MULTIPOINT" => {
+                if self.try_empty() {
+                    return Ok(Geometry::MultiPoint(MultiPoint::new(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut points = Vec::new();
+                loop {
+                    // Both `(x y)` and bare `x y` member syntax are legal WKT.
+                    let parenthesised = self.consume_if(b'(');
+                    let x = self.number()?;
+                    let y = self.number()?;
+                    if parenthesised {
+                        self.expect(b')')?;
+                    }
+                    points.push(Point::new(x, y));
+                    if !self.consume_if(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPoint(MultiPoint::new(points)))
+            }
+            "MULTILINESTRING" => {
+                if self.try_empty() {
+                    return Ok(Geometry::MultiLineString(MultiLineString::new(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut lines = Vec::new();
+                loop {
+                    lines.push(LineString::new(self.coord_list()?)?);
+                    if !self.consume_if(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiLineString(MultiLineString::new(lines)))
+            }
+            "MULTIPOLYGON" => {
+                if self.try_empty() {
+                    return Ok(Geometry::MultiPolygon(MultiPolygon::new(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut polygons = Vec::new();
+                loop {
+                    polygons.push(self.polygon_body()?);
+                    if !self.consume_if(b',') {
+                        break;
+                    }
+                }
+                self.expect(b')')?;
+                Ok(Geometry::MultiPolygon(MultiPolygon::new(polygons)))
+            }
+            other => Err(GeomError::WktParse {
+                message: format!("unknown geometry type '{other}'"),
+                offset: 0,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HasEnvelope;
+
+    #[test]
+    fn point_round_trip() {
+        let g = parse("POINT (-73.97 40.75)").unwrap();
+        assert_eq!(g, Geometry::Point(Point::new(-73.97, 40.75)));
+        assert_eq!(write(&g), "POINT (-73.97 40.75)");
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        let g = parse("  point(1 2)  ").unwrap();
+        assert_eq!(g.as_point(), Some(Point::new(1.0, 2.0)));
+        let g2 = parse("LineString ( 0 0 , 1 1 )").unwrap();
+        assert_eq!(g2.type_name(), "LINESTRING");
+    }
+
+    #[test]
+    fn polygon_with_hole_round_trip() {
+        let wkt = "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))";
+        let g = parse(wkt).unwrap();
+        let poly = g.as_polygon().unwrap();
+        assert_eq!(poly.holes().len(), 1);
+        let back = write(&g);
+        assert_eq!(parse(&back).unwrap(), g);
+    }
+
+    #[test]
+    fn multipolygon_parses() {
+        let wkt = "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))";
+        let g = parse(wkt).unwrap();
+        match &g {
+            Geometry::MultiPolygon(mp) => assert_eq!(mp.polygons.len(), 2),
+            _ => panic!("expected MultiPolygon"),
+        }
+        assert_eq!(parse(&write(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn multipoint_both_member_syntaxes() {
+        let a = parse("MULTIPOINT ((1 2), (3 4))").unwrap();
+        let b = parse("MULTIPOINT (1 2, 3 4)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(
+            parse("MULTIPOLYGON EMPTY").unwrap(),
+            Geometry::MultiPolygon(MultiPolygon::new(vec![]))
+        );
+        assert!(parse("MULTIPOINT EMPTY").unwrap().envelope().is_empty());
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let g = parse("POINT (1.5e2 -2.5E-1)").unwrap();
+        assert_eq!(g.as_point(), Some(Point::new(150.0, -0.25)));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("POINT (1 )").unwrap_err();
+        match err {
+            GeomError::WktParse { offset, .. } => assert!(offset >= 8),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("CIRCLE (0 0)").is_err());
+        assert!(parse("POINT (1 2) junk").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("POLYGON ((0 0, 1 1))").is_err()); // ring too short
+    }
+
+    #[test]
+    fn multilinestring_round_trip() {
+        let wkt = "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))";
+        let g = parse(wkt).unwrap();
+        assert_eq!(g.num_points(), 5);
+        assert_eq!(parse(&write(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hadooplet — a miniature Hadoop/MapReduce engine
+//!
+//! §II of the paper frames the prior art: "SpatialHadoop, HadoopGIS and
+//! ESRI Spatial Framework for Hadoop … all spatially partition spatial
+//! data to apply the MapReduce computing model", and §II's closing
+//! paragraph criticises Hadoop for "outputting intermediate results to
+//! disks, … excessive disk I/Os". This crate builds those baselines so
+//! the in-memory systems have something to be compared against:
+//!
+//! * [`mapreduce`] — a generic MapReduce engine over minihdfs: per-block
+//!   map tasks with locality, a sort/shuffle that **materialises
+//!   intermediate results** through a disk cost model, and reduce
+//!   tasks. Measured tasks replay on the simulated cluster exactly like
+//!   the other engines.
+//! * [`spatial`] — the two §II join strategies on top of it:
+//!   - `spatialhadoop_join`: both sides pre-partitioned by a shared STR
+//!     partitioner; the join is a **map-only** job over cell pairs
+//!     (SpatialHadoop's custom `FileInputFormat` approach);
+//!   - `hadoopgis_join`: a **reduce-side** join where map emits
+//!     `(cell, text record)` for both sides — intermediate data is
+//!     tab-separated *text*, as Hadoop streaming requires — and each
+//!     reducer runs an indexed join for its cell.
+
+pub mod mapreduce;
+pub mod spatial;
+
+pub use mapreduce::{DiskModel, HadoopConf, JobMetrics, MapReduce};
+pub use spatial::{hadoopgis_join, spatialhadoop_join, HadoopJoinRun};

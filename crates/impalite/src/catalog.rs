@@ -1,0 +1,91 @@
+//! Table catalog — the stand-in for the Hive metastore Impala consults
+//! during planning.
+
+use std::collections::BTreeMap;
+
+use crate::error::ImpalaError;
+
+/// Metadata of one HDFS-backed table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name used in SQL.
+    pub name: String,
+    /// Path of the backing text file in minihdfs.
+    pub path: String,
+    /// Column names, in file order. Column 0 is the record id.
+    pub columns: Vec<String>,
+    /// Index of the geometry (WKT) column.
+    pub geom_col: usize,
+}
+
+impl TableDef {
+    /// A conventional two-column `(id, geom)` table.
+    pub fn id_geom(name: &str, path: &str) -> TableDef {
+        TableDef {
+            name: name.to_string(),
+            path: path.to_string(),
+            columns: vec!["id".into(), "geom".into()],
+            geom_col: 1,
+        }
+    }
+}
+
+/// The catalog: table name → definition.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table definition.
+    pub fn register(&mut self, def: TableDef) {
+        self.tables.insert(def.name.clone(), def);
+    }
+
+    /// Looks a table up by name (case-insensitive, like Impala).
+    ///
+    /// # Errors
+    /// Fails with [`ImpalaError::UnknownTable`] when absent.
+    pub fn resolve(&self, name: &str) -> Result<&TableDef, ImpalaError> {
+        let lower = name.to_ascii_lowercase();
+        self.tables
+            .get(&lower)
+            .or_else(|| self.tables.get(name))
+            .ok_or_else(|| ImpalaError::UnknownTable(name.to_string()))
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut c = Catalog::new();
+        c.register(TableDef::id_geom("taxi", "/data/taxi"));
+        assert_eq!(c.resolve("taxi").unwrap().path, "/data/taxi");
+        assert_eq!(c.resolve("TAXI").unwrap().name, "taxi");
+        assert!(matches!(
+            c.resolve("nope"),
+            Err(ImpalaError::UnknownTable(_))
+        ));
+        assert_eq!(c.table_names(), vec!["taxi"]);
+    }
+
+    #[test]
+    fn id_geom_convention() {
+        let t = TableDef::id_geom("x", "/p");
+        assert_eq!(t.geom_col, 1);
+        assert_eq!(t.columns, vec!["id", "geom"]);
+    }
+}

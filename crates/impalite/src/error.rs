@@ -1,0 +1,54 @@
+//! Error types for the query engine.
+
+use std::fmt;
+
+/// Errors surfaced by parsing, planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImpalaError {
+    /// SQL text failed to parse; carries a message and token position.
+    Sql { message: String, position: usize },
+    /// A table referenced in the query is not in the catalog.
+    UnknownTable(String),
+    /// A column alias does not match either joined table.
+    UnknownAlias(String),
+    /// The underlying file system failed.
+    Dfs(String),
+}
+
+impl fmt::Display for ImpalaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImpalaError::Sql { message, position } => {
+                write!(f, "SQL parse error at token {position}: {message}")
+            }
+            ImpalaError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            ImpalaError::UnknownAlias(a) => write!(f, "unknown table alias: {a}"),
+            ImpalaError::Dfs(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImpalaError {}
+
+impl From<minihdfs::DfsError> for ImpalaError {
+    fn from(e: minihdfs::DfsError) -> Self {
+        ImpalaError::Dfs(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = ImpalaError::Sql {
+            message: "expected FROM".into(),
+            position: 3,
+        };
+        assert!(e.to_string().contains("token 3"));
+        let d: ImpalaError = minihdfs::DfsError::NotFound("/x".into()).into();
+        assert!(matches!(d, ImpalaError::Dfs(_)));
+        assert!(ImpalaError::UnknownTable("t".into()).to_string().contains("t"));
+    }
+}

@@ -1,0 +1,603 @@
+//! The backend: fragment execution, row batches, static scheduling.
+
+use cluster::{simulate, ClusterSpec, NetworkModel, ScheduleMode, Scheduler, TaskSpec};
+use geom::engine::{NaiveEngine, RefinementEngine};
+use geom::{Geometry, HasEnvelope};
+use minihdfs::MiniDfs;
+use rtree::RTree;
+use std::time::Instant;
+
+use crate::catalog::Catalog;
+use crate::error::ImpalaError;
+use crate::plan::{plan_query, PhysicalPlan};
+use crate::row::{Row, RowBatch};
+use crate::sql::parse_query;
+
+/// Backend configuration.
+#[derive(Debug, Clone)]
+pub struct ImpaladConf {
+    /// Local worker threads for real execution.
+    pub threads: usize,
+    /// Simulated cluster for replay.
+    pub cluster: ClusterSpec,
+    /// Network/coordination model (usually [`NetworkModel::ec2_impala`]).
+    pub network: NetworkModel,
+}
+
+impl Default for ImpaladConf {
+    fn default() -> ImpaladConf {
+        ImpaladConf {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cluster: ClusterSpec::ec2_paper_cluster(),
+            network: NetworkModel::ec2_impala(),
+        }
+    }
+}
+
+/// Multiplicative overhead of pushing rows through the engine's
+/// exchange and row-batch machinery (buffering at sender and receiver,
+/// pull-based operator dispatch) relative to a bare loop over the same
+/// data. Calibrated to the 7–14 % infrastructure overhead the paper
+/// measures between ISP-MC and its standalone twin (§V.B).
+pub const ROW_BATCH_PIPELINE_TAX: f64 = 0.10;
+
+/// One row batch's probe work: the measured cost of each static OpenMP
+/// chunk, plus the batch's block locality.
+///
+/// The chunks of a batch run under a **barrier**: the batch is done when
+/// its slowest chunk is done ("the workloads assigned to OpenMP threads
+/// (within a row batch) can be unbalanced which hurts ISP-MC
+/// performance quite a lot", §V.B). Batches stream through an instance
+/// sequentially.
+#[derive(Debug, Clone)]
+pub struct ProbeBatch {
+    /// Node holding the batch's source block.
+    pub locality: Option<usize>,
+    /// Measured seconds per static chunk (one chunk per core).
+    pub chunk_costs: Vec<f64>,
+}
+
+impl ProbeBatch {
+    /// The batch's barrier time: its slowest chunk.
+    pub fn barrier_time(&self) -> f64 {
+        self.chunk_costs.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total CPU seconds across chunks.
+    pub fn total(&self) -> f64 {
+        self.chunk_costs.iter().sum()
+    }
+}
+
+/// Everything one query execution measured, for cluster replay.
+#[derive(Debug, Clone)]
+pub struct QueryMetrics {
+    /// Per-block cost of scanning/splitting the left table into rows.
+    pub scan_tasks: Vec<TaskSpec>,
+    /// Seconds to scan + parse the right table and build the R-tree
+    /// (paid by every instance after the broadcast).
+    pub build_secs: f64,
+    /// Bytes of the right table shipped to every instance.
+    pub broadcast_bytes: u64,
+    /// Per-batch probe work with intra-batch chunk structure.
+    pub probe_batches: Vec<ProbeBatch>,
+    /// Cores the chunks were produced for (OpenMP thread count).
+    pub chunks_per_batch: usize,
+    /// Join output cardinality.
+    pub result_rows: usize,
+}
+
+impl QueryMetrics {
+    /// The probe work flattened to independent tasks (used by the
+    /// standalone replay, which has no row-batch barriers).
+    pub fn probe_tasks(&self) -> Vec<TaskSpec> {
+        self.probe_batches
+            .iter()
+            .flat_map(|b| {
+                b.chunk_costs.iter().map(|&cost| TaskSpec {
+                    cost,
+                    locality: b.locality,
+                })
+            })
+            .collect()
+    }
+
+    /// Replays the query on an explicit cluster: startup, right-side
+    /// broadcast, per-instance R-tree build, statically-assigned scans,
+    /// then the probe with **per-batch barriers** — each batch costs its
+    /// slowest chunk, and an instance runs
+    /// `cores / chunks_per_batch` batches concurrently.
+    pub fn simulate_runtime_on(&self, conf: &ImpaladConf, spec: &ClusterSpec) -> f64 {
+        let net = &conf.network;
+        let num_nodes = spec.num_nodes;
+        let mut total = net.job_startup_cost(num_nodes);
+        total += net.broadcast_cost(self.broadcast_bytes, num_nodes);
+        // Every instance builds its R-tree concurrently.
+        total += self.build_secs;
+        total += net
+            .stage_coordination_cost(self.scan_tasks.len() + self.probe_batches.len());
+
+        let scan = simulate(&self.scan_tasks, spec, Scheduler::StaticLocality).makespan;
+
+        // Static inter-node assignment by locality, per-batch barriers
+        // within a node.
+        let concurrent_batches =
+            (spec.cores_per_node / self.chunks_per_batch.max(1)).max(1) as f64;
+        let mut node_time = vec![0.0f64; num_nodes];
+        for (i, b) in self.probe_batches.iter().enumerate() {
+            let node = b.locality.unwrap_or(i % num_nodes) % num_nodes;
+            node_time[node] += b.barrier_time() / concurrent_batches;
+        }
+        let probe = node_time.iter().cloned().fold(0.0, f64::max);
+
+        total += (scan + probe) * (1.0 + ROW_BATCH_PIPELINE_TAX);
+        total
+    }
+
+    /// Replays the query on `num_nodes` nodes of the configured node
+    /// type (the cloud deployment of Table 2 / Fig. 5).
+    pub fn simulate_runtime(&self, conf: &ImpaladConf, num_nodes: usize) -> f64 {
+        let spec = ClusterSpec {
+            num_nodes,
+            ..conf.cluster
+        };
+        self.simulate_runtime_on(conf, &spec)
+    }
+
+    /// Replays the same work as a standalone single-node program: no
+    /// engine machinery, no exchange, no coordination, no row-batch
+    /// barriers (one static OpenMP loop over everything) — the
+    /// ISP-MC-standalone column of Table 1.
+    pub fn simulate_standalone_on(&self, spec: &ClusterSpec) -> f64 {
+        let single = ClusterSpec {
+            num_nodes: 1,
+            ..*spec
+        };
+        self.build_secs
+            + simulate(&self.scan_tasks, &single, Scheduler::StaticChunked).makespan
+            + simulate(&self.probe_tasks(), &single, Scheduler::StaticChunked).makespan
+    }
+
+    /// Standalone replay on the configured node type.
+    pub fn simulate_standalone(&self, conf: &ImpaladConf) -> f64 {
+        self.simulate_standalone_on(&conf.cluster)
+    }
+
+    /// Number of row batches the left side produced.
+    pub fn num_batches(&self) -> usize {
+        self.probe_batches.len()
+    }
+
+    /// Total measured CPU seconds (scan + build + probe).
+    pub fn total_work(&self) -> f64 {
+        self.build_secs
+            + self.scan_tasks.iter().map(|t| t.cost).sum::<f64>()
+            + self.probe_batches.iter().map(ProbeBatch::total).sum::<f64>()
+    }
+}
+
+/// A completed query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matched `(left id, right id)` pairs.
+    pub pairs: Vec<(i64, i64)>,
+    /// Measured execution metrics.
+    pub metrics: QueryMetrics,
+    /// The physical plan that ran.
+    pub plan: PhysicalPlan,
+}
+
+/// Strips a leading `EXPLAIN` keyword, returning the remainder.
+fn strip_explain(sql: &str) -> Option<&str> {
+    let trimmed = sql.trim_start();
+    if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
+        Some(&trimmed[7..])
+    } else {
+        None
+    }
+}
+
+/// One Impala daemon standing in for the whole backend.
+pub struct Impalad {
+    conf: ImpaladConf,
+    dfs: MiniDfs,
+    catalog: Catalog,
+}
+
+impl Impalad {
+    /// Creates a daemon over a file system and catalog.
+    pub fn new(conf: ImpaladConf, dfs: MiniDfs, catalog: Catalog) -> Impalad {
+        Impalad { conf, dfs, catalog }
+    }
+
+    /// The configuration.
+    pub fn conf(&self) -> &ImpaladConf {
+        &self.conf
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parses, plans and executes one spatial-join statement. An
+    /// `EXPLAIN` prefix plans without executing (see
+    /// [`Impalad::explain`]).
+    ///
+    /// # Errors
+    /// Propagates SQL, catalog and storage errors.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult, ImpalaError> {
+        let query = parse_query(strip_explain(sql).unwrap_or(sql))?;
+        let plan = plan_query(&query, &self.catalog)?;
+        if strip_explain(sql).is_some() {
+            return Ok(QueryResult {
+                pairs: Vec::new(),
+                metrics: QueryMetrics {
+                    scan_tasks: Vec::new(),
+                    build_secs: 0.0,
+                    broadcast_bytes: 0,
+                    probe_batches: Vec::new(),
+                    chunks_per_batch: 0,
+                    result_rows: 0,
+                },
+                plan,
+            });
+        }
+        self.run_plan(plan)
+    }
+
+    /// Plans a statement and returns its `EXPLAIN` rendering without
+    /// executing it.
+    ///
+    /// # Errors
+    /// Propagates SQL and catalog errors.
+    pub fn explain(&self, sql: &str) -> Result<String, ImpalaError> {
+        let query = parse_query(strip_explain(sql).unwrap_or(sql))?;
+        Ok(plan_query(&query, &self.catalog)?.explain())
+    }
+
+    fn run_plan(&self, plan: PhysicalPlan) -> Result<QueryResult, ImpalaError> {
+        let engine = NaiveEngine;
+        let predicate = plan.predicate;
+        let radius = predicate.filter_radius();
+
+        // --- Fragment 0: scan right table, broadcast, build R-tree ---
+        // In the real system every instance receives the broadcast WKT
+        // row batches and parses + builds its own tree; the measured
+        // build time below is that per-instance cost.
+        let right_stat = self.dfs.stat(&plan.right_path)?;
+        let right_lines = self.dfs.read_all_lines(&plan.right_path)?;
+        let t0 = Instant::now();
+        let mut entries: Vec<(geom::Envelope, (i64, Geometry))> = Vec::new();
+        for line in &right_lines {
+            if let Some(row) = Row::from_line(line, plan.right_geom_col) {
+                if let Ok(g) = geom::wkt::parse(&row.wkt) {
+                    let env = g.envelope().expanded_by(radius);
+                    entries.push((env, (row.id, engine.prepare(&g))));
+                }
+            }
+        }
+        let tree: RTree<(i64, Geometry)> = RTree::bulk_load_entries(entries);
+        let build_secs = t0.elapsed().as_secs_f64();
+
+        // --- Fragment 1: scan left table into row batches ---
+        let blocks = self.dfs.blocks(&plan.left_path)?;
+        let localities: Vec<Option<usize>> = blocks.iter().map(|b| Some(b.primary_node)).collect();
+        let geom_col = plan.left_geom_col;
+        let (block_rows, scan_timings) = cluster::run_tasks(
+            blocks,
+            self.conf.threads,
+            ScheduleMode::Static,
+            |block| -> Vec<Row> {
+                block
+                    .lines()
+                    .filter_map(|l| Row::from_line(l, geom_col))
+                    .collect()
+            },
+        );
+        let scan_tasks: Vec<TaskSpec> = scan_timings
+            .iter()
+            .map(|t| TaskSpec {
+                cost: t.secs,
+                locality: localities[t.index].map(|n| n % self.conf.cluster.num_nodes),
+            })
+            .collect();
+
+        // Batch rows per block, then statically chunk every batch over
+        // the node's cores — the OpenMP `schedule(static)` the paper was
+        // forced into by GEOS thread-safety.
+        let cores = self.conf.cluster.cores_per_node.max(1);
+        let mut chunks: Vec<(Vec<Row>, Option<usize>)> = Vec::new();
+        let mut chunk_batch: Vec<usize> = Vec::new();
+        let mut batch_localities: Vec<Option<usize>> = Vec::new();
+        for (rows, locality) in block_rows.into_iter().zip(&localities) {
+            for batch in RowBatch::batches_from(rows) {
+                let batch_id = batch_localities.len();
+                batch_localities.push(*locality);
+                let n = batch.len();
+                let mut iter = batch.rows.into_iter();
+                for c in 0..cores {
+                    let start = (c * n) / cores;
+                    let end = ((c + 1) * n) / cores;
+                    if end > start {
+                        chunks.push((iter.by_ref().take(end - start).collect(), *locality));
+                        chunk_batch.push(batch_id);
+                    }
+                }
+            }
+        }
+
+        // --- Probe: static chunking, naive (GEOS-like) refinement ---
+        let (chunk_pairs, probe_timings) = cluster::run_tasks(
+            chunks,
+            self.conf.threads,
+            ScheduleMode::Static,
+            |(rows, _)| -> Vec<(i64, i64)> {
+                let mut out = Vec::new();
+                for row in rows {
+                    let Ok(g) = geom::wkt::parse(&row.wkt) else {
+                        continue;
+                    };
+                    let Some(p) = g.as_point() else { continue };
+                    // Entry envelopes were expanded by the radius at
+                    // build time; query with radius zero.
+                    if let geom::engine::SpatialPredicate::Nearest(d) = predicate {
+                        let mut best: Option<(f64, i64)> = None;
+                        tree.for_each_within_distance(p, 0.0, |(rid, target)| {
+                            let dist = engine.distance(p, target);
+                            if dist <= d {
+                                let better = match best {
+                                    None => true,
+                                    Some((bd, bid)) => dist < bd || (dist == bd && *rid < bid),
+                                };
+                                if better {
+                                    best = Some((dist, *rid));
+                                }
+                            }
+                        });
+                        if let Some((_, rid)) = best {
+                            out.push((row.id, rid));
+                        }
+                        continue;
+                    }
+                    tree.for_each_within_distance(p, 0.0, |(rid, target)| {
+                        if predicate.eval(&engine, p, target) {
+                            out.push((row.id, *rid));
+                        }
+                    });
+                }
+                out
+            },
+        );
+        let mut probe_batches: Vec<ProbeBatch> = batch_localities
+            .iter()
+            .map(|&locality| ProbeBatch {
+                locality: locality.map(|n| n % self.conf.cluster.num_nodes),
+                chunk_costs: Vec::with_capacity(cores),
+            })
+            .collect();
+        for t in &probe_timings {
+            probe_batches[chunk_batch[t.index]].chunk_costs.push(t.secs);
+        }
+
+        let mut pairs: Vec<(i64, i64)> = chunk_pairs.into_iter().flatten().collect();
+        if plan.group_count {
+            // Hash aggregation at the coordinator: (right id, count).
+            let mut counts: std::collections::HashMap<i64, i64> =
+                std::collections::HashMap::new();
+            for &(_, rid) in &pairs {
+                *counts.entry(rid).or_insert(0) += 1;
+            }
+            pairs = counts.into_iter().collect();
+            pairs.sort_unstable();
+        }
+        let result_rows = pairs.len();
+        Ok(QueryResult {
+            pairs,
+            metrics: QueryMetrics {
+                scan_tasks,
+                build_secs,
+                broadcast_bytes: right_stat.total_bytes as u64,
+                probe_batches,
+                chunks_per_batch: cores,
+                result_rows,
+            },
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+
+    /// Points on a 10×10 integer grid; polygons = four 5×5 quadrant
+    /// boxes, so every point matches exactly one polygon (boundary
+    /// points may match more).
+    fn fixture() -> (MiniDfs, Catalog) {
+        let dfs = MiniDfs::new(4, 512).unwrap();
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(format!(
+                    "{}\tPOINT ({} {})",
+                    i * 10 + j,
+                    i as f64 + 0.5,
+                    j as f64 + 0.5
+                ));
+            }
+        }
+        dfs.write_lines("/pnt", &pts).unwrap();
+        let polys = vec![
+            "0\tPOLYGON ((0 0, 5 0, 5 5, 0 5, 0 0))".to_string(),
+            "1\tPOLYGON ((5 0, 10 0, 10 5, 5 5, 5 0))".to_string(),
+            "2\tPOLYGON ((0 5, 5 5, 5 10, 0 10, 0 5))".to_string(),
+            "3\tPOLYGON ((5 5, 10 5, 10 10, 5 10, 5 5))".to_string(),
+        ];
+        dfs.write_lines("/poly", &polys).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(TableDef::id_geom("pnt", "/pnt"));
+        catalog.register(TableDef::id_geom("poly", "/poly"));
+        (dfs, catalog)
+    }
+
+    fn daemon() -> Impalad {
+        let (dfs, catalog) = fixture();
+        Impalad::new(ImpaladConf::default(), dfs, catalog)
+    }
+
+    #[test]
+    fn within_join_end_to_end() {
+        let d = daemon();
+        let result = d
+            .execute(
+                "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        // Interior points: each matches exactly one quadrant.
+        assert_eq!(result.pairs.len(), 100);
+        // Spot-check: point (0.5, 0.5), id 0, is in polygon 0.
+        assert!(result.pairs.contains(&(0, 0)));
+        // Point (5.5, 5.5) has id 55 and sits in polygon 3.
+        assert!(result.pairs.contains(&(55, 3)));
+        assert_eq!(result.metrics.result_rows, 100);
+        assert!(result.metrics.build_secs > 0.0);
+        assert!(result.metrics.broadcast_bytes > 0);
+        assert!(!result.metrics.probe_batches.is_empty());
+    }
+
+    #[test]
+    fn nearestd_join_end_to_end() {
+        let (dfs, mut catalog) = fixture();
+        dfs.write_lines(
+            "/roads",
+            ["0\tLINESTRING (0 0, 10 0)", "1\tLINESTRING (0 9, 10 9)"],
+        )
+        .unwrap();
+        catalog.register(TableDef::id_geom("roads", "/roads"));
+        let d = Impalad::new(ImpaladConf::default(), dfs, catalog);
+        let result = d
+            .execute(
+                "SELECT pnt.id, roads.id FROM pnt SPATIAL JOIN roads \
+                 WHERE ST_NearestD (pnt.geom, roads.geom, 0.6)",
+            )
+            .unwrap();
+        // Points at y = 0.5 are 0.5 from road 0; y = 8.5 and 9.5 are
+        // 0.5 from road 1. That's 10 + 20 = 30 matches.
+        assert_eq!(result.pairs.len(), 30);
+        assert!(result
+            .pairs
+            .iter()
+            .all(|&(_, rid)| rid == 0 || rid == 1));
+    }
+
+    #[test]
+    fn simulate_runtime_shape() {
+        let d = daemon();
+        let result = d
+            .execute(
+                "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        let standalone = result.metrics.simulate_standalone(d.conf());
+        let one_node = result.metrics.simulate_runtime(d.conf(), 1);
+        assert!(
+            one_node > standalone,
+            "engine machinery must cost something: {one_node} vs {standalone}"
+        );
+    }
+
+    #[test]
+    fn bad_rows_are_skipped_not_fatal() {
+        let dfs = MiniDfs::new(2, 512).unwrap();
+        dfs.write_lines(
+            "/pnt",
+            [
+                "0\tPOINT (1 1)",
+                "garbage line",
+                "1\tNOT_WKT (2 2)",
+                "2\tPOINT (3 3)",
+            ],
+        )
+        .unwrap();
+        dfs.write_lines("/poly", ["0\tPOLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"])
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register(TableDef::id_geom("pnt", "/pnt"));
+        catalog.register(TableDef::id_geom("poly", "/poly"));
+        let d = Impalad::new(ImpaladConf::default(), dfs, catalog);
+        let result = d
+            .execute(
+                "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        assert_eq!(result.pairs, vec![(0, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn explain_plans_without_executing() {
+        let d = daemon();
+        let text = d
+            .explain(
+                "EXPLAIN SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        assert!(text.contains("SPATIAL_JOIN"));
+        // execute() on an EXPLAIN statement returns no rows but a plan.
+        let result = d
+            .execute(
+                "EXPLAIN SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        assert!(result.pairs.is_empty());
+        assert!(result.plan.explain().contains("SPATIAL_JOIN"));
+        assert!(d.explain("EXPLAIN SELECT broken").is_err());
+    }
+
+    #[test]
+    fn count_group_by_aggregates() {
+        let d = daemon();
+        let result = d
+            .execute(
+                "SELECT poly.id, COUNT(*) FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom) GROUP BY poly.id",
+            )
+            .unwrap();
+        // Four quadrants x 25 interior points each.
+        assert_eq!(result.pairs, vec![(0, 25), (1, 25), (2, 25), (3, 25)]);
+        assert!(result.plan.explain().contains("AGGREGATE"));
+        // Malformed aggregates are rejected.
+        assert!(d
+            .execute(
+                "SELECT poly.id, COUNT(*) FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)"
+            )
+            .is_err(), "missing GROUP BY");
+        assert!(d
+            .execute(
+                "SELECT pnt.id, COUNT(*) FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom) GROUP BY pnt.id"
+            )
+            .is_err(), "grouping by the probe side is unsupported");
+    }
+
+    #[test]
+    fn plan_is_attached_to_result() {
+        let d = daemon();
+        let result = d
+            .execute(
+                "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        assert!(result.plan.explain().contains("SPATIAL_JOIN"));
+    }
+}

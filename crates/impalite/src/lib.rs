@@ -1,0 +1,39 @@
+//! # impalite — a SQL row-batch query engine
+//!
+//! A from-scratch stand-in for Cloudera Impala with the architecture the
+//! paper's ISP-MC plugs into (§IV):
+//!
+//! * a **frontend** ([`sql`]) that parses the paper's SQL dialect —
+//!   including the `SPATIAL JOIN` keyword extension and the
+//!   `ST_WITHIN` / `ST_NearestD` predicates of Fig. 1 — against a
+//!   [`catalog::Catalog`] of HDFS-backed tables;
+//! * a **planner** ([`plan`]) that lowers the query to a physical plan:
+//!   an AST of plan nodes (HDFS scans, a broadcast exchange for the
+//!   right side, the `SpatialJoin` node, a sink) grouped into plan
+//!   fragments, fixed before execution starts — Impala "makes the
+//!   execution plan at the frontend … no changes on the plan are made
+//!   after the plan starts to execute";
+//! * a **backend** ([`exec`]) that scans the left table as row batches,
+//!   builds an in-memory R-tree from the broadcast right side, probes it
+//!   batch by batch with *static OpenMP-style chunking* across cores,
+//!   and refines candidate pairs with the GEOS-like
+//!   [`geom::engine::NaiveEngine`];
+//! * recorded metrics that replay the query on any cluster size under
+//!   Impala's **static scheduling** (scan ranges pinned to the node
+//!   holding the block).
+//!
+//! A `standalone` mode runs the same join logic without the engine
+//! machinery, reproducing the ISP-MC-standalone column of Table 1.
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod row;
+pub mod sql;
+
+pub use catalog::{Catalog, TableDef};
+pub use error::ImpalaError;
+pub use exec::{Impalad, ImpaladConf, QueryMetrics, QueryResult};
+pub use plan::{ExchangeMode, PhysicalPlan, PlanNode};
+pub use sql::{parse_query, Query};

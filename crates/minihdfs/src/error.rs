@@ -1,0 +1,43 @@
+//! Error types for the mini file system.
+
+use std::fmt;
+
+/// Errors returned by [`crate::MiniDfs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The requested path does not exist.
+    NotFound(String),
+    /// A file already exists at the path (writes never overwrite).
+    AlreadyExists(String),
+    /// Invalid configuration (zero datanodes, zero block size, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::InvalidConfig(msg) => write!(f, "invalid DFS configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            DfsError::NotFound("/a".into()).to_string(),
+            "no such file: /a"
+        );
+        assert!(DfsError::AlreadyExists("/b".into())
+            .to_string()
+            .contains("/b"));
+        assert!(DfsError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,406 @@
+//! The in-memory file system: namenode metadata + block storage.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::DfsError;
+
+/// One stored block: payload plus placement.
+#[derive(Debug, Clone)]
+struct Block {
+    data: Bytes,
+    /// Datanodes holding a replica; the first is the primary.
+    replicas: Vec<usize>,
+    num_records: usize,
+}
+
+#[derive(Debug, Clone)]
+struct File {
+    blocks: Vec<Block>,
+    total_bytes: usize,
+    total_records: usize,
+}
+
+/// A lightweight handle describing one block of a file, as returned to
+/// readers. Cloning is cheap ([`Bytes`] is reference counted).
+#[derive(Debug, Clone)]
+pub struct BlockRef {
+    /// Position of the block within its file.
+    pub index: usize,
+    /// Datanode holding the primary replica — the locality hint used by
+    /// the schedulers.
+    pub primary_node: usize,
+    /// All datanodes holding a replica.
+    pub replicas: Vec<usize>,
+    /// The block payload (UTF-8 text, newline-separated records).
+    pub data: Bytes,
+    /// Number of records (lines) in the block.
+    pub num_records: usize,
+}
+
+impl BlockRef {
+    /// Iterates over the records (lines) of this block.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        // Blocks are always valid UTF-8: they are produced by write_lines.
+        std::str::from_utf8(&self.data)
+            .expect("minihdfs blocks are UTF-8 by construction")
+            .lines()
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-byte block (never produced by `write_lines`).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// File-level metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStat {
+    pub path: String,
+    pub num_blocks: usize,
+    pub total_bytes: usize,
+    pub total_records: usize,
+}
+
+/// The mini distributed file system.
+///
+/// Shareable across threads; all methods take `&self`.
+#[derive(Debug, Clone)]
+pub struct MiniDfs {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    num_datanodes: usize,
+    block_size: usize,
+    replication: usize,
+    files: RwLock<BTreeMap<String, File>>,
+    next_block_seq: RwLock<usize>,
+}
+
+impl MiniDfs {
+    /// Creates a file system over `num_datanodes` simulated datanodes
+    /// with the given block size and replication factor 1.
+    pub fn new(num_datanodes: usize, block_size: usize) -> Result<MiniDfs, DfsError> {
+        Self::with_replication(num_datanodes, block_size, 1)
+    }
+
+    /// Creates a file system with an explicit replication factor
+    /// (clamped to the number of datanodes).
+    pub fn with_replication(
+        num_datanodes: usize,
+        block_size: usize,
+        replication: usize,
+    ) -> Result<MiniDfs, DfsError> {
+        if num_datanodes == 0 {
+            return Err(DfsError::InvalidConfig("need at least one datanode".into()));
+        }
+        if block_size == 0 {
+            return Err(DfsError::InvalidConfig("block size must be positive".into()));
+        }
+        if replication == 0 {
+            return Err(DfsError::InvalidConfig("replication must be positive".into()));
+        }
+        Ok(MiniDfs {
+            inner: Arc::new(Inner {
+                num_datanodes,
+                block_size,
+                replication: replication.min(num_datanodes),
+                files: RwLock::new(BTreeMap::new()),
+                next_block_seq: RwLock::new(0),
+            }),
+        })
+    }
+
+    /// Number of simulated datanodes.
+    pub fn num_datanodes(&self) -> usize {
+        self.inner.num_datanodes
+    }
+
+    /// Configured block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.inner.block_size
+    }
+
+    /// Writes a text file from an iterator of records (one line each).
+    /// Blocks split at line boundaries once `block_size` is reached, so
+    /// no record straddles two blocks (records larger than the block
+    /// size get a block of their own).
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::AlreadyExists`] when the path is taken.
+    pub fn write_lines<I, S>(&self, path: &str, lines: I) -> Result<FileStat, DfsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        if self.inner.files.read().contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        let mut blocks = Vec::new();
+        let mut buf = String::with_capacity(self.inner.block_size + 1024);
+        let mut records_in_buf = 0usize;
+        let mut total_bytes = 0usize;
+        let mut total_records = 0usize;
+
+        let flush =
+            |buf: &mut String, records_in_buf: &mut usize, blocks: &mut Vec<Block>| {
+                if buf.is_empty() {
+                    return;
+                }
+                let replicas = self.place_block();
+                blocks.push(Block {
+                    data: Bytes::from(std::mem::take(buf)),
+                    replicas,
+                    num_records: *records_in_buf,
+                });
+                *records_in_buf = 0;
+            };
+
+        for line in lines {
+            let line = line.as_ref();
+            buf.push_str(line);
+            buf.push('\n');
+            records_in_buf += 1;
+            total_records += 1;
+            total_bytes += line.len() + 1;
+            if buf.len() >= self.inner.block_size {
+                flush(&mut buf, &mut records_in_buf, &mut blocks);
+            }
+        }
+        flush(&mut buf, &mut records_in_buf, &mut blocks);
+
+        let stat = FileStat {
+            path: path.to_string(),
+            num_blocks: blocks.len(),
+            total_bytes,
+            total_records,
+        };
+        self.inner.files.write().insert(
+            path.to_string(),
+            File {
+                blocks,
+                total_bytes,
+                total_records,
+            },
+        );
+        Ok(stat)
+    }
+
+    /// Round-robin placement over datanodes, with replicas on the
+    /// following nodes — the same rack-unaware policy as stock HDFS
+    /// without topology information.
+    fn place_block(&self) -> Vec<usize> {
+        let mut seq = self.inner.next_block_seq.write();
+        let primary = *seq % self.inner.num_datanodes;
+        *seq += 1;
+        (0..self.inner.replication)
+            .map(|r| (primary + r) % self.inner.num_datanodes)
+            .collect()
+    }
+
+    /// True when the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.files.read().contains_key(path)
+    }
+
+    /// Deletes a file.
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::NotFound`] for unknown paths.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        self.inner
+            .files
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Lists all paths, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.inner.files.read().keys().cloned().collect()
+    }
+
+    /// File metadata.
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::NotFound`] for unknown paths.
+    pub fn stat(&self, path: &str) -> Result<FileStat, DfsError> {
+        let files = self.inner.files.read();
+        let f = files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        Ok(FileStat {
+            path: path.to_string(),
+            num_blocks: f.blocks.len(),
+            total_bytes: f.total_bytes,
+            total_records: f.total_records,
+        })
+    }
+
+    /// All blocks of a file with their placement, in file order.
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::NotFound`] for unknown paths.
+    pub fn blocks(&self, path: &str) -> Result<Vec<BlockRef>, DfsError> {
+        let files = self.inner.files.read();
+        let f = files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        Ok(f.blocks
+            .iter()
+            .enumerate()
+            .map(|(index, b)| BlockRef {
+                index,
+                primary_node: b.replicas[0],
+                replicas: b.replicas.clone(),
+                data: b.data.clone(),
+                num_records: b.num_records,
+            })
+            .collect())
+    }
+
+    /// Reads the whole file back as owned lines (test / example helper;
+    /// engines read block-wise for locality).
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::NotFound`] for unknown paths.
+    pub fn read_all_lines(&self, path: &str) -> Result<Vec<String>, DfsError> {
+        let blocks = self.blocks(path)?;
+        let mut out = Vec::new();
+        for b in blocks {
+            out.extend(b.lines().map(str::to_string));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs() -> MiniDfs {
+        MiniDfs::new(4, 64).unwrap() // tiny blocks to force splitting
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(MiniDfs::new(0, 64).is_err());
+        assert!(MiniDfs::new(4, 0).is_err());
+        assert!(MiniDfs::with_replication(4, 64, 0).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dfs = dfs();
+        let lines: Vec<String> = (0..100).map(|i| format!("record-{i}")).collect();
+        let stat = dfs.write_lines("/data/test.txt", &lines).unwrap();
+        assert_eq!(stat.total_records, 100);
+        assert!(stat.num_blocks > 1, "64-byte blocks must split 100 lines");
+        assert_eq!(dfs.read_all_lines("/data/test.txt").unwrap(), lines);
+    }
+
+    #[test]
+    fn blocks_split_at_line_boundaries() {
+        let dfs = dfs();
+        let lines: Vec<String> = (0..50).map(|i| format!("{i:0>20}")).collect();
+        dfs.write_lines("/f", &lines).unwrap();
+        let blocks = dfs.blocks("/f").unwrap();
+        let total: usize = blocks.iter().map(|b| b.num_records).sum();
+        assert_eq!(total, 50);
+        for b in &blocks {
+            // Every block ends with a full record.
+            assert!(b.data.ends_with(b"\n"));
+            assert_eq!(b.lines().count(), b.num_records);
+        }
+    }
+
+    #[test]
+    fn placement_is_round_robin() {
+        let dfs = dfs();
+        let lines: Vec<String> = (0..64).map(|i| format!("{i:0>30}")).collect();
+        dfs.write_lines("/f", &lines).unwrap();
+        let blocks = dfs.blocks("/f").unwrap();
+        assert!(blocks.len() >= 8);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.primary_node, i % 4);
+        }
+    }
+
+    #[test]
+    fn replication_wraps_nodes() {
+        let dfs = MiniDfs::with_replication(3, 64, 2).unwrap();
+        dfs.write_lines("/f", ["aaaa"]).unwrap();
+        let blocks = dfs.blocks("/f").unwrap();
+        assert_eq!(blocks[0].replicas.len(), 2);
+        assert_ne!(blocks[0].replicas[0], blocks[0].replicas[1]);
+        // Replication clamped to node count.
+        let dfs2 = MiniDfs::with_replication(2, 64, 5).unwrap();
+        dfs2.write_lines("/f", ["aaaa"]).unwrap();
+        assert_eq!(dfs2.blocks("/f").unwrap()[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn no_overwrite_and_delete() {
+        let dfs = dfs();
+        dfs.write_lines("/f", ["x"]).unwrap();
+        assert_eq!(
+            dfs.write_lines("/f", ["y"]),
+            Err(DfsError::AlreadyExists("/f".into()))
+        );
+        assert!(dfs.exists("/f"));
+        dfs.delete("/f").unwrap();
+        assert!(!dfs.exists("/f"));
+        assert_eq!(dfs.delete("/f"), Err(DfsError::NotFound("/f".into())));
+        assert_eq!(
+            dfs.stat("/f").unwrap_err(),
+            DfsError::NotFound("/f".into())
+        );
+    }
+
+    #[test]
+    fn oversized_record_gets_own_block() {
+        let dfs = dfs();
+        let big = "z".repeat(500);
+        dfs.write_lines("/f", [big.as_str(), "tail"]).unwrap();
+        let blocks = dfs.blocks("/f").unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].num_records, 1);
+        assert_eq!(blocks[1].lines().next(), Some("tail"));
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let dfs = dfs();
+        let stat = dfs.write_lines("/empty", Vec::<String>::new()).unwrap();
+        assert_eq!(stat.num_blocks, 0);
+        assert_eq!(stat.total_records, 0);
+        assert!(dfs.read_all_lines("/empty").unwrap().is_empty());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let dfs = dfs();
+        dfs.write_lines("/b", ["1"]).unwrap();
+        dfs.write_lines("/a", ["1"]).unwrap();
+        assert_eq!(dfs.list(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+
+    #[test]
+    fn shared_handle_sees_writes() {
+        let dfs = dfs();
+        let clone = dfs.clone();
+        dfs.write_lines("/shared", ["v"]).unwrap();
+        assert!(clone.exists("/shared"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Insertion-based R-tree (Guttman 1984, quadratic split).
+//!
+//! Kept as the ablation baseline against [`crate::RTree`]'s STR bulk
+//! load: the paper's systems always bulk-build the broadcast index, and
+//! `benches/indexing.rs` quantifies why.
+
+use geom::{Envelope, HasEnvelope, Point};
+
+const MAX_ENTRIES: usize = 16;
+const MIN_ENTRIES: usize = 6;
+
+#[derive(Debug, Clone)]
+enum NodeBody {
+    Leaf(Vec<u32>),     // entry ids
+    Inner(Vec<usize>),  // child node ids
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    env: Envelope,
+    body: NodeBody,
+}
+
+/// A mutable R-tree supporting one-at-a-time insertion.
+#[derive(Debug, Clone)]
+pub struct DynamicRTree<T> {
+    items: Vec<(Envelope, T)>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl<T> Default for DynamicRTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DynamicRTree<T> {
+    /// Creates an empty tree.
+    pub fn new() -> DynamicRTree<T> {
+        DynamicRTree {
+            items: Vec::new(),
+            nodes: vec![Node {
+                env: Envelope::EMPTY,
+                body: NodeBody::Leaf(Vec::new()),
+            }],
+            root: 0,
+        }
+    }
+
+    /// Number of items in the tree.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts an item with an explicit envelope.
+    pub fn insert_entry(&mut self, env: Envelope, item: T) {
+        let id = self.items.len() as u32;
+        self.items.push((env, item));
+        if let Some((left, right)) = self.insert_rec(self.root, id, env) {
+            // Root split: grow the tree by one level.
+            let new_root = self.nodes.len();
+            let env = self.nodes[left].env.union(&self.nodes[right].env);
+            self.nodes.push(Node {
+                env,
+                body: NodeBody::Inner(vec![left, right]),
+            });
+            self.root = new_root;
+        }
+    }
+
+    /// Inserts an item that knows its envelope.
+    pub fn insert(&mut self, item: T)
+    where
+        T: HasEnvelope,
+    {
+        self.insert_entry(item.envelope(), item);
+    }
+
+    fn insert_rec(&mut self, node_id: usize, entry: u32, env: Envelope) -> Option<(usize, usize)> {
+        self.nodes[node_id].env = self.nodes[node_id].env.union(&env);
+        let is_leaf = matches!(self.nodes[node_id].body, NodeBody::Leaf(_));
+        if is_leaf {
+            if let NodeBody::Leaf(entries) = &mut self.nodes[node_id].body {
+                entries.push(entry);
+                if entries.len() > MAX_ENTRIES {
+                    return Some(self.split_leaf(node_id));
+                }
+            }
+            return None;
+        }
+
+        // Choose the child needing the least enlargement.
+        let child = {
+            let NodeBody::Inner(children) = &self.nodes[node_id].body else {
+                unreachable!()
+            };
+            *children
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ea = enlargement(&self.nodes[a].env, &env);
+                    let eb = enlargement(&self.nodes[b].env, &env);
+                    ea.total_cmp(&eb)
+                        .then_with(|| self.nodes[a].env.area().total_cmp(&self.nodes[b].env.area()))
+                })
+                .expect("inner nodes always have children")
+        };
+
+        if let Some((left, right)) = self.insert_rec(child, entry, env) {
+            let NodeBody::Inner(children) = &mut self.nodes[node_id].body else {
+                unreachable!()
+            };
+            children.retain(|&c| c != child);
+            children.push(left);
+            children.push(right);
+            if children.len() > MAX_ENTRIES {
+                return Some(self.split_inner(node_id));
+            }
+        }
+        None
+    }
+
+    fn split_leaf(&mut self, node_id: usize) -> (usize, usize) {
+        let NodeBody::Leaf(entries) = std::mem::replace(
+            &mut self.nodes[node_id].body,
+            NodeBody::Leaf(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let envs: Vec<Envelope> = entries.iter().map(|&e| self.items[e as usize].0).collect();
+        let (ga, gb) = quadratic_partition(&envs);
+        let (a_ids, a_env) = collect_group(&entries, &envs, &ga);
+        let (b_ids, b_env) = collect_group(&entries, &envs, &gb);
+        self.nodes[node_id] = Node {
+            env: a_env,
+            body: NodeBody::Leaf(a_ids),
+        };
+        let right = self.nodes.len();
+        self.nodes.push(Node {
+            env: b_env,
+            body: NodeBody::Leaf(b_ids),
+        });
+        (node_id, right)
+    }
+
+    fn split_inner(&mut self, node_id: usize) -> (usize, usize) {
+        let NodeBody::Inner(children) = std::mem::replace(
+            &mut self.nodes[node_id].body,
+            NodeBody::Inner(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let envs: Vec<Envelope> = children.iter().map(|&c| self.nodes[c].env).collect();
+        let (ga, gb) = quadratic_partition(&envs);
+        let a_children: Vec<usize> = ga.iter().map(|&i| children[i]).collect();
+        let b_children: Vec<usize> = gb.iter().map(|&i| children[i]).collect();
+        let a_env = a_children
+            .iter()
+            .fold(Envelope::EMPTY, |e, &c| e.union(&self.nodes[c].env));
+        let b_env = b_children
+            .iter()
+            .fold(Envelope::EMPTY, |e, &c| e.union(&self.nodes[c].env));
+        self.nodes[node_id] = Node {
+            env: a_env,
+            body: NodeBody::Inner(a_children),
+        };
+        let right = self.nodes.len();
+        self.nodes.push(Node {
+            env: b_env,
+            body: NodeBody::Inner(b_children),
+        });
+        (node_id, right)
+    }
+
+    /// Calls `visit` for every item whose envelope intersects `query`.
+    pub fn for_each_intersecting<'a, F: FnMut(&'a T)>(&'a self, query: &Envelope, mut visit: F) {
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.env.intersects(query) {
+                continue;
+            }
+            match &node.body {
+                NodeBody::Leaf(entries) => {
+                    for &e in entries {
+                        let (env, item) = &self.items[e as usize];
+                        if env.intersects(query) {
+                            visit(item);
+                        }
+                    }
+                }
+                NodeBody::Inner(children) => stack.extend_from_slice(children),
+            }
+        }
+    }
+
+    /// Collects references to all items intersecting `query`.
+    pub fn query(&self, query: &Envelope) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_intersecting(query, |t| out.push(t));
+        out
+    }
+
+    /// Calls `visit` for every item whose envelope lies within `distance`
+    /// of `p`.
+    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(&'a self, p: Point, distance: f64, mut visit: F) {
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.env.distance_to_point(p) > distance {
+                continue;
+            }
+            match &node.body {
+                NodeBody::Leaf(entries) => {
+                    for &e in entries {
+                        let (env, item) = &self.items[e as usize];
+                        if env.distance_to_point(p) <= distance {
+                            visit(item);
+                        }
+                    }
+                }
+                NodeBody::Inner(children) => stack.extend_from_slice(children),
+            }
+        }
+    }
+}
+
+fn enlargement(node: &Envelope, added: &Envelope) -> f64 {
+    node.union(added).area() - node.area()
+}
+
+fn collect_group(entries: &[u32], envs: &[Envelope], group: &[usize]) -> (Vec<u32>, Envelope) {
+    let ids: Vec<u32> = group.iter().map(|&i| entries[i]).collect();
+    let env = group
+        .iter()
+        .fold(Envelope::EMPTY, |e, &i| e.union(&envs[i]));
+    (ids, env)
+}
+
+/// Guttman's quadratic split: pick the pair of seeds wasting the most
+/// area together, then greedily assign the rest by least enlargement,
+/// respecting the minimum fill.
+fn quadratic_partition(envs: &[Envelope]) -> (Vec<usize>, Vec<usize>) {
+    let n = envs.len();
+    debug_assert!(n >= 2);
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in i + 1..n {
+            let waste = envs[i].union(&envs[j]).area() - envs[i].area() - envs[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut ga = vec![seed_a];
+    let mut gb = vec![seed_b];
+    let mut env_a = envs[seed_a];
+    let mut env_b = envs[seed_b];
+    #[allow(clippy::needless_range_loop)] // index used for group membership, not just envs
+    for i in 0..n {
+        if i == seed_a || i == seed_b {
+            continue;
+        }
+        let remaining = n - ga.len() - gb.len();
+        // Force-assign to meet the minimum fill.
+        if ga.len() + remaining <= MIN_ENTRIES {
+            ga.push(i);
+            env_a = env_a.union(&envs[i]);
+            continue;
+        }
+        if gb.len() + remaining <= MIN_ENTRIES {
+            gb.push(i);
+            env_b = env_b.union(&envs[i]);
+            continue;
+        }
+        let da = enlargement(&env_a, &envs[i]);
+        let db = enlargement(&env_b, &envs[i]);
+        if da < db || (da == db && ga.len() <= gb.len()) {
+            ga.push(i);
+            env_a = env_a.union(&envs[i]);
+        } else {
+            gb.push(i);
+            env_b = env_b.union(&envs[i]);
+        }
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query_match_linear_scan() {
+        let mut tree = DynamicRTree::new();
+        let mut boxes = Vec::new();
+        // Deterministic pseudo-random boxes.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 100.0
+        };
+        for id in 0..500usize {
+            let x = next();
+            let y = next();
+            let e = Envelope::new(x, y, x + next() * 0.05, y + next() * 0.05);
+            boxes.push((e, id));
+            tree.insert_entry(e, id);
+        }
+        assert_eq!(tree.len(), 500);
+        for query in [
+            Envelope::new(10.0, 10.0, 30.0, 30.0),
+            Envelope::new(0.0, 0.0, 100.0, 100.0),
+            Envelope::new(200.0, 200.0, 300.0, 300.0),
+        ] {
+            let mut expected: Vec<usize> = boxes
+                .iter()
+                .filter(|(e, _)| e.intersects(&query))
+                .map(|&(_, id)| id)
+                .collect();
+            let mut got: Vec<usize> = tree.query(&query).into_iter().copied().collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_small_trees() {
+        let tree: DynamicRTree<u32> = DynamicRTree::new();
+        assert!(tree.is_empty());
+        assert!(tree.query(&Envelope::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+
+        let mut one = DynamicRTree::new();
+        one.insert_entry(Envelope::new(0.0, 0.0, 1.0, 1.0), 7u32);
+        assert_eq!(one.query(&Envelope::new(0.5, 0.5, 0.6, 0.6)), vec![&7]);
+    }
+
+    #[test]
+    fn within_distance_matches_linear_scan() {
+        let mut tree = DynamicRTree::new();
+        let mut boxes = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let e = Envelope::new(i as f64, j as f64, i as f64 + 0.5, j as f64 + 0.5);
+                boxes.push((e, i * 20 + j));
+                tree.insert_entry(e, i * 20 + j);
+            }
+        }
+        let p = Point::new(10.0, 10.0);
+        for d in [0.1, 1.0, 3.0] {
+            let mut expected: Vec<i32> = boxes
+                .iter()
+                .filter(|(e, _)| e.distance_to_point(p) <= d)
+                .map(|&(_, id)| id)
+                .collect();
+            let mut got = Vec::new();
+            tree.for_each_within_distance(p, d, |&id| got.push(id));
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Uniform grid index.
+//!
+//! The simplest filtering structure: items are binned into every grid
+//! cell their envelope overlaps; a query visits the cells it overlaps.
+//! Fast to build, but skew-sensitive — used as a baseline in the
+//! indexing ablation bench.
+
+use geom::{Envelope, HasEnvelope, Point};
+
+/// A uniform `cols × rows` grid over a fixed extent.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    extent: Envelope,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<u32>>,
+    items: Vec<(Envelope, T)>,
+    /// Query-time visited stamps to avoid reporting an item once per
+    /// overlapped cell. Interior mutability is avoided by keeping the
+    /// stamp vector separate and versioned.
+    stamp: std::cell::RefCell<(u32, Vec<u32>)>,
+}
+
+impl<T> GridIndex<T> {
+    /// Builds a grid over `extent` with the given resolution from
+    /// `(envelope, item)` pairs.
+    pub fn build(extent: Envelope, cols: usize, rows: usize, entries: Vec<(Envelope, T)>) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        let cell_w = (extent.width() / cols as f64).max(f64::MIN_POSITIVE);
+        let cell_h = (extent.height() / rows as f64).max(f64::MIN_POSITIVE);
+        let mut cells = vec![Vec::new(); cols * rows];
+        for (id, (env, _)) in entries.iter().enumerate() {
+            if env.is_empty() {
+                continue;
+            }
+            let (c0, r0, c1, r1) = cell_range(extent, cell_w, cell_h, cols, rows, env);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    cells[r * cols + c].push(id as u32);
+                }
+            }
+        }
+        let n = entries.len();
+        GridIndex {
+            extent,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+            cells,
+            items: entries,
+            stamp: std::cell::RefCell::new((0, vec![0; n])),
+        }
+    }
+
+    /// Builds from items that know their envelope.
+    pub fn build_from(extent: Envelope, cols: usize, rows: usize, items: Vec<T>) -> Self
+    where
+        T: HasEnvelope,
+    {
+        let entries = items.into_iter().map(|t| (t.envelope(), t)).collect();
+        Self::build(extent, cols, rows, entries)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Calls `visit` once per item whose envelope intersects `query`.
+    pub fn for_each_intersecting<'a, F: FnMut(&'a T)>(&'a self, query: &Envelope, mut visit: F) {
+        if self.items.is_empty() || !self.extent.intersects(query) {
+            return;
+        }
+        let clipped = self.extent.intersection(query);
+        let (c0, r0, c1, r1) = cell_range(
+            self.extent,
+            self.cell_w,
+            self.cell_h,
+            self.cols,
+            self.rows,
+            &clipped,
+        );
+        let mut stamp = self.stamp.borrow_mut();
+        stamp.0 += 1;
+        let version = stamp.0;
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for &id in &self.cells[r * self.cols + c] {
+                    if stamp.1[id as usize] == version {
+                        continue;
+                    }
+                    stamp.1[id as usize] = version;
+                    let (env, item) = &self.items[id as usize];
+                    if env.intersects(query) {
+                        visit(item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects all items intersecting `query`.
+    pub fn query(&self, query: &Envelope) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_intersecting(query, |t| out.push(t));
+        out
+    }
+
+    /// Calls `visit` once per item within `distance` of `p` (by envelope).
+    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(&'a self, p: Point, distance: f64, visit: F) {
+        let probe = Envelope::of_point(p).expanded_by(distance);
+        self.for_each_intersecting(&probe, visit);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cell_range(
+    extent: Envelope,
+    cell_w: f64,
+    cell_h: f64,
+    cols: usize,
+    rows: usize,
+    env: &Envelope,
+) -> (usize, usize, usize, usize) {
+    let clamp = |v: f64, hi: usize| (v as isize).clamp(0, hi as isize - 1) as usize;
+    let c0 = clamp((env.min_x - extent.min_x) / cell_w, cols);
+    let c1 = clamp((env.max_x - extent.min_x) / cell_w, cols);
+    let r0 = clamp((env.min_y - extent.min_y) / cell_h, rows);
+    let r1 = clamp((env.max_y - extent.min_y) / cell_h, rows);
+    (c0, r0, c1, r1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_matches_linear_scan_and_dedups() {
+        let extent = Envelope::new(0.0, 0.0, 10.0, 10.0);
+        let mut entries = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                // Boxes deliberately spanning multiple cells.
+                let e = Envelope::new(i as f64, j as f64, i as f64 + 1.5, j as f64 + 1.5);
+                entries.push((e, i * 10 + j));
+            }
+        }
+        let grid = GridIndex::build(extent, 8, 8, entries.clone());
+        assert_eq!(grid.len(), 100);
+        for query in [
+            Envelope::new(2.2, 2.2, 4.7, 4.7),
+            Envelope::new(-5.0, -5.0, 0.5, 0.5),
+            Envelope::new(9.9, 9.9, 20.0, 20.0),
+        ] {
+            let mut expected: Vec<i32> = entries
+                .iter()
+                .filter(|(e, _)| e.intersects(&query))
+                .map(|&(_, id)| id)
+                .collect();
+            let mut got: Vec<i32> = grid.query(&query).into_iter().copied().collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let extent = Envelope::new(0.0, 0.0, 1.0, 1.0);
+        let grid = GridIndex::build(
+            extent,
+            4,
+            4,
+            vec![(Envelope::new(0.1, 0.1, 0.2, 0.2), 1u8)],
+        );
+        assert!(grid.query(&Envelope::new(5.0, 5.0, 6.0, 6.0)).is_empty());
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn within_distance_via_expanded_probe() {
+        let extent = Envelope::new(0.0, 0.0, 10.0, 10.0);
+        let entries = vec![
+            (Envelope::new(1.0, 1.0, 2.0, 2.0), 'a'),
+            (Envelope::new(8.0, 8.0, 9.0, 9.0), 'b'),
+        ];
+        let grid = GridIndex::build(extent, 5, 5, entries);
+        let mut hits = Vec::new();
+        grid.for_each_within_distance(Point::new(0.0, 0.0), 2.0, |&c| hits.push(c));
+        assert_eq!(hits, vec!['a']);
+    }
+}

@@ -1,0 +1,26 @@
+//! # rtree — spatial indexing
+//!
+//! Index structures for the *spatial filtering* phase of the joins:
+//!
+//! * [`RTree`] — an STR (Sort-Tile-Recursive) bulk-loaded R-tree, the
+//!   analogue of JTS's `STRtree` that SpatialSpark broadcasts (Fig. 2 of
+//!   the paper) and of the in-memory R-tree ISP-MC builds from the
+//!   broadcast right-side table (§IV).
+//! * [`DynamicRTree`] — a Guttman-style insertion R-tree (quadratic
+//!   split), used as an ablation baseline against bulk loading.
+//! * [`GridIndex`] — a uniform grid, the simplest filtering structure.
+//! * [`QuadTreePartitioner`] — a quadtree that splits space until every
+//!   cell holds at most a target number of samples; used to derive
+//!   balanced spatial partitions for partitioned joins.
+
+pub mod dynamic;
+pub mod grid;
+pub mod partitioner;
+pub mod quadtree;
+pub mod str_tree;
+
+pub use dynamic::DynamicRTree;
+pub use grid::GridIndex;
+pub use partitioner::{FixedGridPartitioner, SpatialPartitioner, StrPartitioner};
+pub use quadtree::QuadTreePartitioner;
+pub use str_tree::RTree;

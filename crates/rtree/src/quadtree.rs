@@ -1,0 +1,185 @@
+//! Quadtree space partitioner.
+//!
+//! Splits the extent recursively until every leaf holds at most
+//! `max_per_cell` of the supplied sample points, then emits the leaf
+//! rectangles as partition envelopes. This is how SpatialHadoop-style
+//! systems derive balanced spatial partitions, and it backs the
+//! partitioned-join path of this reproduction.
+
+use geom::{Envelope, Point};
+
+/// A built partitioner: a list of leaf cells covering the extent.
+#[derive(Debug, Clone)]
+pub struct QuadTreePartitioner {
+    extent: Envelope,
+    leaves: Vec<Envelope>,
+}
+
+impl QuadTreePartitioner {
+    /// Builds the partitioner from sample points.
+    ///
+    /// `max_per_cell` bounds leaf occupancy; `max_depth` bounds recursion
+    /// (protects against many coincident points).
+    pub fn build(
+        extent: Envelope,
+        sample: &[Point],
+        max_per_cell: usize,
+        max_depth: usize,
+    ) -> QuadTreePartitioner {
+        assert!(max_per_cell > 0, "max_per_cell must be positive");
+        let mut leaves = Vec::new();
+        let idx: Vec<u32> = (0..sample.len() as u32).collect();
+        subdivide(extent, sample, &idx, max_per_cell, max_depth, &mut leaves);
+        QuadTreePartitioner { extent, leaves }
+    }
+
+    /// The partition envelopes (leaves of the quadtree).
+    pub fn partitions(&self) -> &[Envelope] {
+        &self.leaves
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Always false: a built partitioner has at least one leaf.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The partition containing the point, if any. Points exactly on a
+    /// shared boundary are assigned to the first (lowest-id) matching
+    /// cell so every point maps to exactly one partition.
+    pub fn partition_of(&self, p: Point) -> Option<usize> {
+        if !self.extent.contains(p.x, p.y) {
+            return None;
+        }
+        self.leaves.iter().position(|e| e.contains(p.x, p.y))
+    }
+
+    /// All partitions whose envelope intersects `env` — used to route a
+    /// polygon/polyline (which may span several cells) to every partition
+    /// it overlaps.
+    pub fn partitions_intersecting(&self, env: &Envelope) -> Vec<usize> {
+        self.leaves
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.intersects(env))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn subdivide(
+    cell: Envelope,
+    sample: &[Point],
+    members: &[u32],
+    max_per_cell: usize,
+    depth_left: usize,
+    out: &mut Vec<Envelope>,
+) {
+    if members.len() <= max_per_cell || depth_left == 0 {
+        out.push(cell);
+        return;
+    }
+    let cx = (cell.min_x + cell.max_x) * 0.5;
+    let cy = (cell.min_y + cell.max_y) * 0.5;
+    let quads = [
+        Envelope::new(cell.min_x, cell.min_y, cx, cy),
+        Envelope::new(cx, cell.min_y, cell.max_x, cy),
+        Envelope::new(cell.min_x, cy, cx, cell.max_y),
+        Envelope::new(cx, cy, cell.max_x, cell.max_y),
+    ];
+    for (qi, q) in quads.iter().enumerate() {
+        // Assign boundary points to exactly one quadrant: strict upper
+        // bounds except on the extent's own max edges.
+        let subset: Vec<u32> = members
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let p = sample[i as usize];
+                let in_x = if qi % 2 == 0 { p.x >= q.min_x && p.x < q.max_x } else { p.x >= q.min_x && p.x <= q.max_x };
+                let in_y = if qi < 2 { p.y >= q.min_y && p.y < q.max_y } else { p.y >= q.min_y && p.y <= q.max_y };
+                in_x && in_y
+            })
+            .collect();
+        subdivide(*q, sample, &subset, max_per_cell, depth_left - 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, cx: f64, cy: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(cx + (i % 10) as f64 * 0.001, cy + (i / 10) as f64 * 0.001))
+            .collect()
+    }
+
+    #[test]
+    fn splits_until_bounded() {
+        let extent = Envelope::new(0.0, 0.0, 100.0, 100.0);
+        let mut pts = cluster(100, 10.0, 10.0);
+        pts.extend(cluster(100, 90.0, 90.0));
+        let qt = QuadTreePartitioner::build(extent, &pts, 30, 16);
+        assert!(qt.len() >= 4, "skewed data should force splits");
+        // Every sample point maps to exactly one partition.
+        for p in &pts {
+            assert!(qt.partition_of(*p).is_some());
+        }
+    }
+
+    #[test]
+    fn uniform_small_sample_keeps_one_cell() {
+        let extent = Envelope::new(0.0, 0.0, 1.0, 1.0);
+        let pts = vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)];
+        let qt = QuadTreePartitioner::build(extent, &pts, 10, 16);
+        assert_eq!(qt.len(), 1);
+        assert_eq!(qt.partitions()[0], extent);
+    }
+
+    #[test]
+    fn partitions_cover_extent_disjointly() {
+        let extent = Envelope::new(0.0, 0.0, 64.0, 64.0);
+        let pts: Vec<Point> = (0..512)
+            .map(|i| Point::new((i * 7 % 64) as f64 + 0.5, (i * 13 % 64) as f64 + 0.5))
+            .collect();
+        let qt = QuadTreePartitioner::build(extent, &pts, 20, 16);
+        // Total area of leaves equals the extent area (they tile it).
+        let total: f64 = qt.partitions().iter().map(Envelope::area).sum();
+        assert!((total - extent.area()).abs() < 1e-6);
+        // Interior points land in exactly one cell under partition_of.
+        for p in &pts {
+            let owner = qt.partition_of(*p).unwrap();
+            assert!(qt.partitions()[owner].contains(p.x, p.y));
+        }
+    }
+
+    #[test]
+    fn depth_limit_stops_coincident_point_recursion() {
+        let extent = Envelope::new(0.0, 0.0, 1.0, 1.0);
+        let pts = vec![Point::new(0.5, 0.5); 100];
+        let qt = QuadTreePartitioner::build(extent, &pts, 2, 4);
+        assert!(qt.len() <= 4usize.pow(4));
+    }
+
+    #[test]
+    fn outside_point_has_no_partition() {
+        let extent = Envelope::new(0.0, 0.0, 1.0, 1.0);
+        let qt = QuadTreePartitioner::build(extent, &[], 10, 4);
+        assert_eq!(qt.partition_of(Point::new(2.0, 2.0)), None);
+        assert!(qt.partition_of(Point::new(0.5, 0.5)).is_some());
+    }
+
+    #[test]
+    fn envelope_routing_hits_overlapping_cells() {
+        let extent = Envelope::new(0.0, 0.0, 2.0, 2.0);
+        // Force a split with a dense cluster.
+        let pts = cluster(200, 0.1, 0.1);
+        let qt = QuadTreePartitioner::build(extent, &pts, 20, 8);
+        let spanning = Envelope::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(qt.partitions_intersecting(&spanning).len(), qt.len());
+    }
+}

@@ -1,0 +1,58 @@
+//! Broadcast variables.
+
+use std::sync::Arc;
+
+/// A read-only value shared with every executor.
+///
+/// In real Spark the value is serialized once and torrent-distributed;
+/// here executors share one `Arc` and the recorded `approx_bytes` feeds
+/// the network cost model during replay.
+#[derive(Debug)]
+pub struct Broadcast<T> {
+    value: Arc<T>,
+    approx_bytes: u64,
+}
+
+// Manual impl: cloning shares the Arc, so `T: Clone` is not required.
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+            approx_bytes: self.approx_bytes,
+        }
+    }
+}
+
+impl<T> Broadcast<T> {
+    /// Wraps a value with its serialized-size estimate.
+    pub fn new(value: T, approx_bytes: u64) -> Broadcast<T> {
+        Broadcast {
+            value: Arc::new(value),
+            approx_bytes,
+        }
+    }
+
+    /// Access the broadcast value — Spark's `broadcast.value`.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// The serialized size charged to the network model.
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_one_value() {
+        let b = Broadcast::new(vec![1, 2, 3], 24);
+        let c = b.clone();
+        assert_eq!(b.value(), c.value());
+        assert_eq!(c.approx_bytes(), 24);
+        assert!(std::ptr::eq(b.value(), c.value()));
+    }
+}

@@ -1,0 +1,256 @@
+//! The driver context: configuration, metrics, dataset creation.
+
+use std::sync::Arc;
+
+use cluster::{ClusterSpec, NetworkModel, Scheduler, TaskSpec};
+use minihdfs::{DfsError, MiniDfs};
+use parking_lot::Mutex;
+
+use crate::broadcast::Broadcast;
+use crate::dataset::{Dataset, Partition};
+use crate::metrics::{JobReport, StageMetrics};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SparkConf {
+    /// Application name, used in reports.
+    pub app_name: String,
+    /// Local worker threads used for real execution.
+    pub threads: usize,
+    /// Default partition count for `parallelize`.
+    pub default_parallelism: usize,
+    /// Simulated cluster for replay.
+    pub cluster: ClusterSpec,
+    /// Network/coordination cost model for replay.
+    pub network: NetworkModel,
+}
+
+impl Default for SparkConf {
+    fn default() -> SparkConf {
+        SparkConf {
+            app_name: "sparklet".into(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            default_parallelism: 16,
+            cluster: ClusterSpec::ec2_paper_cluster(),
+            network: NetworkModel::ec2_spark(),
+        }
+    }
+}
+
+pub(crate) struct CtxInner {
+    pub(crate) conf: SparkConf,
+    pub(crate) dfs: MiniDfs,
+    pub(crate) stages: Mutex<Vec<StageMetrics>>,
+}
+
+/// The driver handle. Cheap to clone; all clones share metrics.
+#[derive(Clone)]
+pub struct SparkContext {
+    pub(crate) inner: Arc<CtxInner>,
+}
+
+impl SparkContext {
+    /// Creates a context over a file system.
+    pub fn new(conf: SparkConf, dfs: MiniDfs) -> SparkContext {
+        SparkContext {
+            inner: Arc::new(CtxInner {
+                conf,
+                dfs,
+                stages: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The configuration.
+    pub fn conf(&self) -> &SparkConf {
+        &self.inner.conf
+    }
+
+    /// The underlying file system.
+    pub fn dfs(&self) -> &MiniDfs {
+        &self.inner.dfs
+    }
+
+    /// Reads a text file as a dataset of lines, one partition per HDFS
+    /// block, preserving block locality — Spark's `sc.textFile`.
+    ///
+    /// # Errors
+    /// Fails when the path does not exist.
+    pub fn text_file(&self, path: &str) -> Result<Dataset<String>, DfsError> {
+        let blocks = self.inner.dfs.blocks(path)?;
+        let partitions: Vec<Partition<String>> = blocks
+            .iter()
+            .map(|b| Partition {
+                data: b.lines().map(str::to_string).collect(),
+                locality: Some(b.primary_node),
+            })
+            .collect();
+        Ok(Dataset::from_partitions(self.clone(), partitions))
+    }
+
+    /// Distributes a local collection over `num_partitions` partitions —
+    /// Spark's `sc.parallelize`.
+    pub fn parallelize<T: Send + Sync>(&self, data: Vec<T>, num_partitions: usize) -> Dataset<T> {
+        let num_partitions = num_partitions.max(1);
+        let n = data.len();
+        let mut partitions: Vec<Partition<T>> = (0..num_partitions)
+            .map(|_| Partition {
+                data: Vec::with_capacity(n / num_partitions + 1),
+                locality: None,
+            })
+            .collect();
+        for (i, item) in data.into_iter().enumerate() {
+            let p = (i * num_partitions).checked_div(n).unwrap_or(0);
+            partitions[p.min(num_partitions - 1)].data.push(item);
+        }
+        Dataset::from_partitions(self.clone(), partitions)
+    }
+
+    /// Ships a read-only value to every executor — Spark's
+    /// `sc.broadcast`. `approx_bytes` is the serialized size used for
+    /// network accounting (the value itself is shared by `Arc` in this
+    /// single-process reproduction).
+    pub fn broadcast<T>(&self, value: T, approx_bytes: u64) -> Broadcast<T> {
+        Broadcast::new(value, approx_bytes)
+    }
+
+    /// Records a completed stage (used by [`Dataset`] internally and by
+    /// higher layers that run custom stages).
+    pub fn record_stage(&self, stage: StageMetrics) {
+        self.inner.stages.lock().push(stage);
+    }
+
+    /// Adds data-movement bytes to the *next* recorded stage by pushing
+    /// a marker stage with no tasks.
+    pub fn record_movement(&self, name: &str, broadcast_bytes: u64, shuffle_bytes: u64) {
+        self.inner.stages.lock().push(StageMetrics {
+            name: name.into(),
+            tasks: Vec::new(),
+            broadcast_bytes,
+            shuffle_bytes,
+        });
+    }
+
+    /// Snapshot of everything executed so far.
+    pub fn job_report(&self) -> JobReport {
+        JobReport {
+            stages: self.inner.stages.lock().clone(),
+        }
+    }
+
+    /// Clears recorded metrics (between experiments).
+    pub fn reset_metrics(&self) {
+        self.inner.stages.lock().clear();
+    }
+
+    /// Replays the recorded job on `num_nodes` nodes of the configured
+    /// node type under dynamic scheduling — the SpatialSpark deployment
+    /// model.
+    pub fn simulate_runtime(&self, num_nodes: usize) -> f64 {
+        let spec = ClusterSpec {
+            num_nodes,
+            ..self.inner.conf.cluster
+        };
+        self.job_report()
+            .simulate_runtime(&spec, &self.inner.conf.network, Scheduler::Dynamic)
+    }
+
+    /// Helper for layers that execute their own parallel work: runs a
+    /// stage of `items` through the local pool dynamically, records the
+    /// measured costs, and returns the results in order.
+    pub fn run_stage<T, R, F>(
+        &self,
+        name: &str,
+        items: Vec<T>,
+        localities: &[Option<usize>],
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.inner.conf.threads;
+        let (results, timings) =
+            cluster::run_tasks(items, threads, cluster::ScheduleMode::Dynamic, f);
+        let tasks: Vec<TaskSpec> = timings
+            .iter()
+            .map(|t| TaskSpec {
+                cost: t.secs,
+                locality: localities.get(t.index).copied().flatten(),
+            })
+            .collect();
+        self.record_stage(StageMetrics {
+            name: name.into(),
+            tasks,
+            broadcast_bytes: 0,
+            shuffle_bytes: 0,
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConf::default(), MiniDfs::new(4, 256).unwrap())
+    }
+
+    #[test]
+    fn text_file_partitions_follow_blocks() {
+        let c = ctx();
+        let lines: Vec<String> = (0..200).map(|i| format!("line-{i:0>10}")).collect();
+        c.dfs().write_lines("/t", &lines).unwrap();
+        let ds = c.text_file("/t").unwrap();
+        assert_eq!(ds.num_partitions(), c.dfs().blocks("/t").unwrap().len());
+        assert_eq!(ds.count(), 200);
+        assert!(c.text_file("/missing").is_err());
+    }
+
+    #[test]
+    fn parallelize_balances_partitions() {
+        let c = ctx();
+        let ds = c.parallelize((0..100).collect::<Vec<i32>>(), 8);
+        assert_eq!(ds.num_partitions(), 8);
+        assert_eq!(ds.count(), 100);
+        let sizes = ds.partition_sizes();
+        assert!(sizes.iter().all(|&s| (12..=13).contains(&s)));
+    }
+
+    #[test]
+    fn metrics_accumulate_and_reset() {
+        let c = ctx();
+        let ds = c.parallelize(vec![1, 2, 3], 2);
+        let _ = ds.map("double", |x| x * 2);
+        assert_eq!(c.job_report().stages.len(), 1);
+        c.record_movement("broadcast", 1000, 0);
+        assert_eq!(c.job_report().stages.len(), 2);
+        assert_eq!(c.job_report().total_broadcast_bytes(), 1000);
+        c.reset_metrics();
+        assert!(c.job_report().stages.is_empty());
+    }
+
+    #[test]
+    fn simulate_runtime_is_positive_and_node_sensitive() {
+        let c = ctx();
+        let ds = c.parallelize((0..1000).collect::<Vec<u64>>(), 32);
+        let _ = ds.map("spin", |&x| (0..5000u64).fold(x, |a, b| a.wrapping_add(b)));
+        let t1 = c.simulate_runtime(1);
+        let t10 = c.simulate_runtime(10);
+        assert!(t1 > 0.0 && t10 > 0.0);
+        // Tiny job: 10 nodes pay more startup than they save.
+        assert!(t10 > t1 * 0.5);
+    }
+
+    #[test]
+    fn empty_parallelize() {
+        let c = ctx();
+        let ds = c.parallelize(Vec::<u8>::new(), 4);
+        assert_eq!(ds.count(), 0);
+        assert_eq!(ds.num_partitions(), 4);
+    }
+}

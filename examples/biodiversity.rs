@@ -1,0 +1,61 @@
+//! Biodiversity scenario from the paper's introduction: "map the
+//! [GBIF] occurrence records to various ecological regions to
+//! understand the biodiversity patterns and make conservation plans."
+//!
+//! Joins species occurrences with WWF ecoregions through the ISP-MC SQL
+//! path and reports occurrence density per ecoregion.
+//!
+//! ```text
+//! cargo run --release --example biodiversity
+//! ```
+
+use std::collections::HashMap;
+
+use minihdfs::MiniDfs;
+use spatialjoin::{IspMc, SpatialPredicate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dfs = MiniDfs::new(4, 256 * 1024)?;
+    let gbif = datagen::gbif::geometries(50_000, 23);
+    let wwf = datagen::wwf::geometries(2_000, 23);
+    datagen::write_dataset(&dfs, "/data/gbif", &gbif)?;
+    datagen::write_dataset(&dfs, "/data/wwf", &wwf)?;
+
+    let ispmc = IspMc::new(
+        impalite::ImpaladConf::default(),
+        dfs,
+        ("gbif", "/data/gbif"),
+        ("wwf", "/data/wwf"),
+    );
+    let run = ispmc.spatial_join("gbif", "wwf", SpatialPredicate::Within)?;
+    println!("SQL: {}", run.sql);
+    println!("plan:\n{}", run.result.plan.explain());
+
+    let mut richness: HashMap<i64, usize> = HashMap::new();
+    for &(_, region) in run.pairs() {
+        *richness.entry(region).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(i64, usize)> = richness.into_iter().collect();
+    ranked.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+
+    println!(
+        "{} occurrences mapped into {} ecoregions",
+        run.pair_count(),
+        ranked.len()
+    );
+    println!("most-sampled ecoregions:");
+    for (region, count) in ranked.iter().take(10) {
+        println!("  ecoregion {region:>5}: {count:>6} occurrences");
+    }
+    println!(
+        "coverage: {:.1}% of occurrences fall inside at least one ecoregion",
+        100.0 * run
+            .pairs()
+            .iter()
+            .map(|&(occ, _)| occ)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as f64
+            / gbif.len() as f64
+    );
+    Ok(())
+}

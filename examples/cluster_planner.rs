@@ -1,0 +1,59 @@
+//! Capacity planning with the replay simulator: given a measured join
+//! and a latency target, how many EC2 nodes does the deployment need —
+//! and which system should run it?
+//!
+//! This is the operational question the paper's scalability figures
+//! answer implicitly; the simulator makes it a one-liner per
+//! configuration.
+//!
+//! ```text
+//! cargo run --release --example cluster_planner
+//! ```
+
+use minihdfs::MiniDfs;
+use spatialjoin::{IspMc, SpatialPredicate, SpatialSpark};
+
+const TARGET_SECONDS: f64 = 5.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dfs = MiniDfs::new(10, 64 * 1024)?;
+    datagen::write_dataset(&dfs, "/taxi", &datagen::taxi::geometries(300_000, 5))?;
+    datagen::write_dataset(&dfs, "/nycb", &datagen::nycb::geometries(datagen::full_size::NYCB, 5))?;
+
+    let spark = SpatialSpark::new(sparklet::SparkConf::default(), dfs.clone());
+    let spark_run = spark.broadcast_spatial_join("/taxi", "/nycb", SpatialPredicate::Within)?;
+    let ispmc = IspMc::new(
+        impalite::ImpaladConf::default(),
+        dfs,
+        ("taxi", "/taxi"),
+        ("nycb", "/nycb"),
+    );
+    let ispmc_run = ispmc.spatial_join("taxi", "nycb", SpatialPredicate::Within)?;
+
+    println!("join: 300K pickups x 40K census blocks ({} pairs)", spark_run.pair_count());
+    println!("target latency: {TARGET_SECONDS} s\n");
+    println!("{:>6}{:>16}{:>12}", "nodes", "SpatialSpark(s)", "ISP-MC(s)");
+    let mut spark_pick = None;
+    let mut ispmc_pick = None;
+    for nodes in 1..=16 {
+        let s = spark_run.simulated_runtime(nodes);
+        let i = ispmc_run.simulated_runtime(nodes);
+        println!("{nodes:>6}{s:>16.2}{i:>12.2}");
+        if s <= TARGET_SECONDS && spark_pick.is_none() {
+            spark_pick = Some(nodes);
+        }
+        if i <= TARGET_SECONDS && ispmc_pick.is_none() {
+            ispmc_pick = Some(nodes);
+        }
+    }
+    println!();
+    match spark_pick {
+        Some(n) => println!("SpatialSpark meets {TARGET_SECONDS} s with {n} node(s)"),
+        None => println!("SpatialSpark cannot meet {TARGET_SECONDS} s within 16 nodes (fixed startup dominates)"),
+    }
+    match ispmc_pick {
+        Some(n) => println!("ISP-MC meets {TARGET_SECONDS} s with {n} node(s)"),
+        None => println!("ISP-MC cannot meet {TARGET_SECONDS} s within 16 nodes"),
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run one spatial join through both systems in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use minihdfs::MiniDfs;
+use spatialjoin::{IspMc, SpatialPredicate, SpatialSpark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a small synthetic workload into the mini-HDFS:
+    //    50 K taxi pickups and 2 K census blocks, as WKT text files.
+    let dfs = MiniDfs::new(4, 256 * 1024)?;
+    let taxi = datagen::taxi::geometries(50_000, 7);
+    let nycb = datagen::nycb::geometries(2_000, 7);
+    datagen::write_dataset(&dfs, "/data/taxi", &taxi)?;
+    datagen::write_dataset(&dfs, "/data/nycb", &nycb)?;
+    println!("wrote {} points and {} polygons", taxi.len(), nycb.len());
+
+    // 2. SpatialSpark: the broadcast R-tree join as dataset transforms.
+    let spark = SpatialSpark::new(sparklet::SparkConf::default(), dfs.clone());
+    let spark_run = spark.broadcast_spatial_join("/data/taxi", "/data/nycb", SpatialPredicate::Within)?;
+    println!(
+        "SpatialSpark: {} point-in-polygon pairs, {:.3}s of task work",
+        spark_run.pair_count(),
+        spark_run.total_work()
+    );
+
+    // 3. ISP-MC: the same join as a SQL statement.
+    let ispmc = IspMc::new(
+        impalite::ImpaladConf::default(),
+        dfs,
+        ("taxi", "/data/taxi"),
+        ("nycb", "/data/nycb"),
+    );
+    let ispmc_run = ispmc.spatial_join("taxi", "nycb", SpatialPredicate::Within)?;
+    println!("ISP-MC SQL : {}", ispmc_run.sql);
+    println!("ISP-MC     : {} pairs", ispmc_run.pair_count());
+
+    // 4. Both systems agree, and both can project their measured run
+    //    onto any cluster size.
+    assert_eq!(
+        spatialjoin::normalize_pairs(spark_run.pairs.clone()),
+        spatialjoin::normalize_pairs(ispmc_run.pairs().to_vec()),
+    );
+    for nodes in [1, 4, 10] {
+        println!(
+            "simulated on {nodes:>2} EC2 nodes: SpatialSpark {:7.2}s   ISP-MC {:7.2}s",
+            spark_run.simulated_runtime(nodes),
+            ispmc_run.simulated_runtime(nodes)
+        );
+    }
+    Ok(())
+}

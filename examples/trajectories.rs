@@ -1,0 +1,51 @@
+//! Trajectory analytics — the paper's future-work data type in action:
+//! join taxi *trips* (timestamped trajectories) with census blocks to
+//! find the corridors taxis actually drive through, not just where they
+//! pick up.
+//!
+//! ```text
+//! cargo run --release --example trajectories
+//! ```
+
+use geom::algorithms::simplify::simplify_linestring;
+use spatialjoin::trajectory::{parse_trajectory_records, trajectory_zone_join, zone_dwell_times};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate 5 K trips and 2 K census blocks.
+    let records = datagen::trips::trip_records(5_000, 17);
+    let trips = parse_trajectory_records(&records);
+    let zones: Vec<(i64, geom::Polygon)> = datagen::nycb::polygons(2_000, 17)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as i64, p))
+        .collect();
+    println!("{} trips, {} zones", trips.len(), zones.len());
+
+    // 2. Which zones does each trip pass through?
+    let pairs = trajectory_zone_join(&trips, &zones);
+    println!("{} (trip, zone) crossings", pairs.len());
+    let avg = pairs.len() as f64 / trips.len() as f64;
+    println!("a trip crosses {avg:.1} census blocks on average");
+
+    // 3. Where do taxis spend their time? (dwell per zone)
+    let dwell = zone_dwell_times(&trips, &zones);
+    println!("zones with the most taxi-seconds:");
+    for (zone, secs) in dwell.iter().take(8) {
+        println!("  zone {zone:>5}: {:>8.0} taxi-seconds", secs);
+    }
+
+    // 4. Bonus: GPS thinning. Simplify each path within a 50 ft
+    //    tolerance and report the compression — what a production
+    //    pipeline would do before storing trajectories.
+    let mut before = 0usize;
+    let mut after = 0usize;
+    for (_, t) in &trips {
+        before += t.path().num_points();
+        after += simplify_linestring(t.path(), 50.0)?.num_points();
+    }
+    println!(
+        "Douglas-Peucker @50ft: {before} -> {after} vertices ({:.0}% kept)",
+        100.0 * after as f64 / before as f64
+    );
+    Ok(())
+}

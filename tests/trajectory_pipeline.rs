@@ -1,0 +1,86 @@
+//! End-to-end trajectory pipeline: generation → DFS → parse → join →
+//! aggregate, plus interactions with simplification.
+
+use geom::algorithms::simplify::simplify_linestring;
+use geom::{HasEnvelope, Polygon, Trajectory};
+use minihdfs::MiniDfs;
+use spatialjoin::trajectory::{parse_trajectory_records, trajectory_zone_join, zone_dwell_times};
+
+#[test]
+fn trajectories_survive_dfs_round_trip() {
+    let dfs = MiniDfs::new(4, 8 * 1024).unwrap();
+    let records = datagen::trips::trip_records(800, 71);
+    dfs.write_lines("/trips", &records).unwrap();
+    let back = parse_trajectory_records(&dfs.read_all_lines("/trips").unwrap());
+    assert_eq!(back.len(), 800);
+    for (i, (id, t)) in back.iter().enumerate() {
+        assert_eq!(*id, i as i64);
+        assert!(t.duration() > 0.0);
+    }
+}
+
+#[test]
+fn join_respects_zone_geometry_not_just_envelopes() {
+    // An L-shaped trajectory whose envelope covers a zone it never
+    // enters: the join must reject it.
+    let traj = Trajectory::new(
+        geom::LineString::new(vec![0.0, 0.0, 10.0, 0.0, 10.0, 10.0]).unwrap(),
+        vec![0.0, 10.0, 20.0],
+    )
+    .unwrap();
+    let corner_zone = Polygon::rectangle(geom::Envelope::new(1.0, 5.0, 4.0, 9.0));
+    assert!(traj.envelope().intersects(&corner_zone.envelope()));
+    assert!(!traj.passes_through(&corner_zone));
+    let pairs = trajectory_zone_join(&[(0, traj)], &[(0, corner_zone)]);
+    assert!(pairs.is_empty());
+}
+
+#[test]
+fn dwell_times_total_at_most_trip_durations() {
+    let records = datagen::trips::trip_records(300, 73);
+    let trips = parse_trajectory_records(&records);
+    let zones: Vec<(i64, Polygon)> = datagen::nycb::polygons(400, 73)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as i64, p))
+        .collect();
+    let dwell = zone_dwell_times(&trips, &zones);
+    let total_dwell: f64 = dwell.iter().map(|(_, s)| s).sum();
+    let total_duration: f64 = trips.iter().map(|(_, t)| t.duration()).sum();
+    // Zones tile the city without overlap, so time in zones can never
+    // exceed time travelled (sampling error stays within the bound
+    // because the estimate is a convex combination per segment).
+    assert!(
+        total_dwell <= total_duration * 1.001,
+        "dwell {total_dwell} vs duration {total_duration}"
+    );
+    assert!(total_dwell > 0.0);
+}
+
+#[test]
+fn simplified_trajectories_keep_their_zone_crossings_mostly() {
+    let records = datagen::trips::trip_records(200, 79);
+    let trips = parse_trajectory_records(&records);
+    let zones: Vec<(i64, Polygon)> = datagen::nycb::polygons(200, 79)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as i64, p))
+        .collect();
+    let before = trajectory_zone_join(&trips, &zones).len();
+
+    let simplified: Vec<(i64, Trajectory)> = trips
+        .iter()
+        .map(|(id, t)| {
+            let path = simplify_linestring(t.path(), 25.0).unwrap();
+            // Resample timestamps uniformly over the simplified path.
+            let times: Vec<f64> = (0..path.num_points())
+                .map(|i| i as f64 * t.duration() / (path.num_points().max(2) - 1) as f64)
+                .collect();
+            (*id, Trajectory::new(path, times).unwrap())
+        })
+        .collect();
+    let after = trajectory_zone_join(&simplified, &zones).len();
+    // 25 ft tolerance against ~500 ft blocks: crossings barely change.
+    let drift = (before as f64 - after as f64).abs() / before.max(1) as f64;
+    assert!(drift < 0.05, "crossings drifted {drift:.2} ({before} -> {after})");
+}
