@@ -1,0 +1,35 @@
+#!/bin/sh
+# Offline CI gate for the workspace. No network access is required at
+# any step: all dependencies are in-tree path crates (enforced by the
+# tidy `deps` check).
+#
+# Steps, in order (first failure stops the run):
+#   1. cargo fmt --check          formatting drift
+#   2. cargo run -p tidy          in-tree static analysis (6 checks)
+#   3. cargo build --release      the tree compiles at opt level
+#   4. cargo test -q              unit + integration + tier-1 suites
+#
+# Exit codes:
+#   0  everything passed
+#   1  formatting drift (cargo fmt --check failed)
+#   2  tidy findings or tidy usage error (see its own output)
+#   3  release build failed
+#   4  tests failed
+set -u
+
+cd "$(dirname "$0")" || exit 2
+
+echo "ci: cargo fmt --check"
+cargo fmt --check || exit 1
+
+echo "ci: cargo run -p tidy"
+cargo run -q -p tidy || exit 2
+
+echo "ci: cargo build --release"
+cargo build --release || exit 3
+
+echo "ci: cargo test -q"
+cargo test -q || exit 4
+
+echo "ci: ok"
+exit 0

@@ -4,12 +4,12 @@
 //! side is small enough to replicate; partitioning amortises as it
 //! grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use geom::engine::{PreparedEngine, SpatialPredicate};
 use spatialjoin::join::{broadcast_index_join, partitioned_join};
 use std::hint::black_box;
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies(c: &mut Harness) {
     let points: Vec<(i64, geom::Point)> = datagen::taxi::points(20_000, 42)
         .into_iter()
         .enumerate()
@@ -24,7 +24,7 @@ fn bench_strategies(c: &mut Criterion) {
             .collect();
         let mut group = c.benchmark_group(format!("join-strategy/right-{right_n}"));
         group.sample_size(10);
-        group.bench_function(BenchmarkId::from_parameter("broadcast"), |b| {
+        group.bench_function(BenchId::from_parameter("broadcast"), |b| {
             b.iter(|| {
                 broadcast_index_join(
                     black_box(&points),
@@ -35,7 +35,7 @@ fn bench_strategies(c: &mut Criterion) {
                 .len()
             })
         });
-        group.bench_function(BenchmarkId::from_parameter("partitioned"), |b| {
+        group.bench_function(BenchId::from_parameter("partitioned"), |b| {
             b.iter(|| {
                 partitioned_join(
                     black_box(&points),
@@ -51,5 +51,7 @@ fn bench_strategies(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_strategies(&mut harness);
+}

@@ -2,7 +2,7 @@
 //! query cost of R-tree vs grid vs linear scan — why both systems in
 //! the paper bulk-build a broadcast R-tree for filtering.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use geom::{Envelope, HasEnvelope};
 use rtree::{DynamicRTree, GridIndex, RTree};
 use std::hint::black_box;
@@ -15,14 +15,14 @@ fn entries(n: usize) -> Vec<(Envelope, u32)> {
         .collect()
 }
 
-fn bench_build(c: &mut Criterion) {
+fn bench_build(c: &mut Harness) {
     let mut group = c.benchmark_group("index-build");
     for n in [1_000usize, 10_000] {
         let data = entries(n);
-        group.bench_with_input(BenchmarkId::new("str-bulk-load", n), &data, |b, data| {
+        group.bench_with_input(BenchId::new("str-bulk-load", n), &data, |b, data| {
             b.iter(|| RTree::bulk_load_entries(black_box(data.clone())))
         });
-        group.bench_with_input(BenchmarkId::new("dynamic-insert", n), &data, |b, data| {
+        group.bench_with_input(BenchId::new("dynamic-insert", n), &data, |b, data| {
             b.iter(|| {
                 let mut t = DynamicRTree::new();
                 for &(e, i) in data {
@@ -31,14 +31,14 @@ fn bench_build(c: &mut Criterion) {
                 t
             })
         });
-        group.bench_with_input(BenchmarkId::new("grid-build", n), &data, |b, data| {
+        group.bench_with_input(BenchId::new("grid-build", n), &data, |b, data| {
             b.iter(|| GridIndex::build(datagen::NYC_EXTENT, 64, 64, black_box(data.clone())))
         });
     }
     group.finish();
 }
 
-fn bench_query(c: &mut Criterion) {
+fn bench_query(c: &mut Harness) {
     let data = entries(20_000);
     let str_tree = RTree::bulk_load_entries(data.clone());
     let mut dyn_tree = DynamicRTree::new();
@@ -95,5 +95,8 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_query);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_build(&mut harness);
+    bench_query(&mut harness);
+}

@@ -3,7 +3,7 @@
 //! balance of a partitioned join is bounded by the quality of its
 //! partitioner.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use geom::Point;
 use rtree::{FixedGridPartitioner, QuadTreePartitioner, SpatialPartitioner, StrPartitioner};
 use std::hint::black_box;
@@ -24,20 +24,20 @@ fn report_balance<P: SpatialPartitioner>(name: &str, p: &P, pts: &[Point]) {
     );
 }
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners(c: &mut Harness) {
     let pts = datagen::taxi::points(100_000, 42);
     let extent = datagen::NYC_EXTENT;
     let sample: Vec<Point> = pts.iter().step_by(10).copied().collect();
 
     // Build cost.
     let mut group = c.benchmark_group("partitioner-build/64-cells");
-    group.bench_function(BenchmarkId::from_parameter("fixed-grid"), |b| {
+    group.bench_function(BenchId::from_parameter("fixed-grid"), |b| {
         b.iter(|| FixedGridPartitioner::new(black_box(extent), 8, 8))
     });
-    group.bench_function(BenchmarkId::from_parameter("str"), |b| {
+    group.bench_function(BenchId::from_parameter("str"), |b| {
         b.iter(|| StrPartitioner::build(black_box(extent), &sample, 64))
     });
-    group.bench_function(BenchmarkId::from_parameter("quadtree"), |b| {
+    group.bench_function(BenchId::from_parameter("quadtree"), |b| {
         b.iter(|| QuadTreePartitioner::build(black_box(extent), &sample, sample.len() / 64, 10))
     });
     group.finish();
@@ -47,13 +47,13 @@ fn bench_partitioners(c: &mut Criterion) {
     let str_p = StrPartitioner::build(extent, &sample, 64);
     let qt = QuadTreePartitioner::build(extent, &sample, sample.len() / 64, 10);
     let mut group = c.benchmark_group("partitioner-route/100k-points");
-    group.bench_function(BenchmarkId::from_parameter("fixed-grid"), |b| {
+    group.bench_function(BenchId::from_parameter("fixed-grid"), |b| {
         b.iter(|| pts.iter().filter_map(|&p| grid.cell_of(p)).count())
     });
-    group.bench_function(BenchmarkId::from_parameter("str"), |b| {
+    group.bench_function(BenchId::from_parameter("str"), |b| {
         b.iter(|| pts.iter().filter_map(|&p| str_p.cell_of(p)).count())
     });
-    group.bench_function(BenchmarkId::from_parameter("quadtree"), |b| {
+    group.bench_function(BenchId::from_parameter("quadtree"), |b| {
         b.iter(|| pts.iter().filter_map(|&p| qt.cell_of(p)).count())
     });
     group.finish();
@@ -65,5 +65,7 @@ fn bench_partitioners(c: &mut Criterion) {
     report_balance("quadtree", &qt, &pts);
 }
 
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_partitioners(&mut harness);
+}

@@ -7,7 +7,7 @@
 //! Spark's per-partition metadata cost. Too few partitions starve the
 //! cores; too many drown the job in coordination.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use cluster::{simulate, ClusterSpec, NetworkModel, Scheduler, TaskSpec};
 use std::hint::black_box;
 
@@ -20,12 +20,12 @@ fn runtime_with_partitions(k: usize, spec: &ClusterSpec, net: &NetworkModel) -> 
     net.stage_coordination_cost(k) + simulate(&tasks, spec, Scheduler::Dynamic).makespan
 }
 
-fn bench_partition_sweep(c: &mut Criterion) {
+fn bench_partition_sweep(c: &mut Harness) {
     let spec = ClusterSpec::ec2_paper_cluster();
     let net = NetworkModel::ec2_spark();
     let mut group = c.benchmark_group("partition-count");
     for k in [10usize, 80, 320, 1280, 5120, 20480] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        group.bench_with_input(BenchId::from_parameter(k), &k, |b, &k| {
             b.iter(|| runtime_with_partitions(black_box(k), &spec, &net))
         });
     }
@@ -34,9 +34,14 @@ fn bench_partition_sweep(c: &mut Criterion) {
     // Print the tradeoff curve itself (the paper-relevant output).
     eprintln!("# partitions -> simulated stage runtime (400 CPU-s on 80 cores):");
     for k in [10usize, 40, 80, 160, 320, 1280, 5120, 20480, 81920] {
-        eprintln!("#   {k:>6} partitions: {:.2}s", runtime_with_partitions(k, &spec, &net));
+        eprintln!(
+            "#   {k:>6} partitions: {:.2}s",
+            runtime_with_partitions(k, &spec, &net)
+        );
     }
 }
 
-criterion_group!(benches, bench_partition_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_partition_sweep(&mut harness);
+}

@@ -3,14 +3,18 @@
 //! polygons. The jts-like/geos-like ratio here is the root cause of
 //! every end-to-end gap in Tables 1-2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use geom::engine::{FlatEngine, NaiveEngine, PreparedEngine, RefinementEngine};
 use geom::Point;
 use std::hint::black_box;
 
-fn bench_refinement(c: &mut Criterion) {
+fn bench_refinement(c: &mut Harness) {
     let cases = [
-        ("nycb-9v", datagen::nycb::geometries(200, 42), datagen::taxi::points(500, 42)),
+        (
+            "nycb-9v",
+            datagen::nycb::geometries(200, 42),
+            datagen::taxi::points(500, 42),
+        ),
         ("wwf-279v", datagen::wwf::geometries(200, 42), {
             // Probe near the polygons so candidates actually refine.
             datagen::gbif::points(500, 42)
@@ -27,7 +31,7 @@ fn bench_refinement(c: &mut Criterion) {
             .collect();
 
         let fast: Vec<_> = polys.iter().map(|g| PreparedEngine.prepare(g)).collect();
-        group.bench_function(BenchmarkId::from_parameter("prepared"), |b| {
+        group.bench_function(BenchId::from_parameter("prepared"), |b| {
             b.iter(|| {
                 let mut hits = 0;
                 for &(p, ri) in &pairs {
@@ -40,7 +44,7 @@ fn bench_refinement(c: &mut Criterion) {
         });
 
         let flat: Vec<_> = polys.iter().map(|g| FlatEngine.prepare(g)).collect();
-        group.bench_function(BenchmarkId::from_parameter("jts-like-flat"), |b| {
+        group.bench_function(BenchId::from_parameter("jts-like-flat"), |b| {
             b.iter(|| {
                 let mut hits = 0;
                 for &(p, ri) in &pairs {
@@ -53,7 +57,7 @@ fn bench_refinement(c: &mut Criterion) {
         });
 
         let naive: Vec<_> = polys.iter().map(|g| NaiveEngine.prepare(g)).collect();
-        group.bench_function(BenchmarkId::from_parameter("geos-like-naive"), |b| {
+        group.bench_function(BenchId::from_parameter("geos-like-naive"), |b| {
             b.iter(|| {
                 let mut hits = 0;
                 for &(p, ri) in &pairs {
@@ -68,5 +72,7 @@ fn bench_refinement(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_refinement);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_refinement(&mut harness);
+}

@@ -3,11 +3,11 @@
 //! reproduction adds as the paper's stated future work. Measures
 //! decode cost per record — the overhead every scan and probe pays.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use geom::Geometry;
 use std::hint::black_box;
 
-fn bench_representation(c: &mut Criterion) {
+fn bench_representation(c: &mut Harness) {
     let cases = [
         ("taxi-points", datagen::taxi::geometries(5_000, 42)),
         ("lion-polylines", datagen::lion::geometries(2_000, 42)),
@@ -24,7 +24,7 @@ fn bench_representation(c: &mut Criterion) {
         );
 
         let mut group = c.benchmark_group(format!("decode/{label}"));
-        group.bench_function(BenchmarkId::from_parameter("wkt"), |b| {
+        group.bench_function(BenchId::from_parameter("wkt"), |b| {
             b.iter(|| {
                 let mut n = 0usize;
                 for r in &wkt_records {
@@ -34,7 +34,7 @@ fn bench_representation(c: &mut Criterion) {
                 n
             })
         });
-        group.bench_function(BenchmarkId::from_parameter("binary"), |b| {
+        group.bench_function(BenchId::from_parameter("binary"), |b| {
             b.iter(|| {
                 let mut n = 0usize;
                 for r in &bin_records {
@@ -44,7 +44,7 @@ fn bench_representation(c: &mut Criterion) {
                 n
             })
         });
-        group.bench_function(BenchmarkId::from_parameter("wkt-encode"), |b| {
+        group.bench_function(BenchId::from_parameter("wkt-encode"), |b| {
             b.iter(|| {
                 let mut bytes = 0usize;
                 for g in &geoms {
@@ -57,5 +57,7 @@ fn bench_representation(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_representation);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_representation(&mut harness);
+}

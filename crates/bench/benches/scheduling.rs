@@ -2,7 +2,7 @@
 //! (Impala/OpenMP) scheduling on uniform and skewed task sets, in the
 //! discrete-event replay the end-to-end figures are built on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{BenchId, Harness};
 use cluster::{simulate, ClusterSpec, Scheduler, TaskSpec};
 use std::hint::black_box;
 
@@ -21,7 +21,7 @@ fn skewed(n: usize) -> Vec<TaskSpec> {
         .collect()
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn bench_schedulers(c: &mut Harness) {
     let spec = ClusterSpec::ec2_paper_cluster();
     for (label, tasks) in [("uniform", uniform(4096)), ("skewed", skewed(4096))] {
         let mut group = c.benchmark_group(format!("scheduler-sim/{label}"));
@@ -30,7 +30,7 @@ fn bench_schedulers(c: &mut Criterion) {
             Scheduler::StaticChunked,
             Scheduler::StaticLocality,
         ] {
-            group.bench_function(BenchmarkId::from_parameter(format!("{sched:?}")), |b| {
+            group.bench_function(BenchId::from_parameter(format!("{sched:?}")), |b| {
                 b.iter(|| simulate(black_box(&tasks), &spec, sched).makespan)
             });
         }
@@ -38,7 +38,7 @@ fn bench_schedulers(c: &mut Criterion) {
     }
 
     // Also report the *quality* difference once, as a plain comparison
-    // (criterion measures sim speed; the makespans themselves are the
+    // (the harness measures sim speed; the makespans themselves are the
     // paper-relevant output).
     let tasks = skewed(4096);
     let dynamic = simulate(&tasks, &spec, Scheduler::Dynamic).makespan;
@@ -50,5 +50,7 @@ fn bench_schedulers(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_schedulers(&mut harness);
+}

@@ -65,14 +65,19 @@ fn main() {
     };
     println!(
         "{:<28}{:>12.0}{:>12}   (join only; {:.0}s incl. one-time partitioning)",
-        "SpatialHadoop (map-only)", join_only, sh.pair_count(), sh_total
+        "SpatialHadoop (map-only)",
+        join_only,
+        sh.pair_count(),
+        sh_total
     );
 
     eprintln!("# HadoopGIS-style ...");
     let (gis, gis_t) = run_hadoop_baseline(&w, exp, threads, false, &replay, NODES);
     println!(
         "{:<28}{:>12.0}{:>12}",
-        "HadoopGIS (reduce-side)", gis_t, gis.pair_count()
+        "HadoopGIS (reduce-side)",
+        gis_t,
+        gis.pair_count()
     );
 
     assert_eq!(

@@ -18,10 +18,18 @@ fn main() {
     let chunked = simulate(&flat, &spec, Scheduler::StaticChunked);
     let dynamic = simulate(&flat, &spec, Scheduler::Dynamic);
 
-    println!("batches={} chunks={} chunks/batch={}", m.probe_batches.len(), flat.len(), m.chunks_per_batch);
+    println!(
+        "batches={} chunks={} chunks/batch={}",
+        m.probe_batches.len(),
+        flat.len(),
+        m.chunks_per_batch
+    );
     println!("total work                = {total:.3}s");
     println!("ideal on 16 cores         = {:.3}s", total / 16.0);
-    println!("ISP-MC barrier sum / {concurrent} = {:.3}s", barrier_sum / concurrent);
+    println!(
+        "ISP-MC barrier sum / {concurrent} = {:.3}s",
+        barrier_sum / concurrent
+    );
     println!("standalone static-chunked = {:.3}s", chunked.makespan);
     println!("dynamic                   = {:.3}s", dynamic.makespan);
     // Per-core load distribution under static chunking.

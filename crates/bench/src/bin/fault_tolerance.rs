@@ -43,7 +43,8 @@ fn main() {
             at_time: fault_free * frac,
         };
         let recompute = simulate_with_recompute(&probe.tasks, &spec, failure);
-        let restart = simulate_with_restart(&probe.tasks, &spec, Scheduler::StaticLocality, failure);
+        let restart =
+            simulate_with_restart(&probe.tasks, &spec, Scheduler::StaticLocality, failure);
         println!(
             "{:<12}{:>22.0}{:>22.0}{:>13.2}x",
             format!("{:.0}%", frac * 100.0),

@@ -15,9 +15,7 @@
 //!
 //! Usage: `cargo run --release -p bench --bin jts_vs_geos`
 
-use geom::engine::{
-    FlatEngine, NaiveEngine, PreparedEngine, RefinementEngine, SpatialPredicate,
-};
+use geom::engine::{FlatEngine, NaiveEngine, PreparedEngine, RefinementEngine, SpatialPredicate};
 use geom::{Geometry, HasEnvelope, Point};
 use rtree::RTree;
 use std::time::Instant;
@@ -84,7 +82,13 @@ fn main() {
     println!("Standalone Within refinement: JTS-like vs GEOS-like engines ({REPS} reps)");
     println!(
         "{:<16}{:>12}{:>13}{:>10}{:>13}{:>12}{:>10}",
-        "experiment", "jts-like(s)", "geos-like(s)", "ratio", "prepared(s)", "candidates", "matches"
+        "experiment",
+        "jts-like(s)",
+        "geos-like(s)",
+        "ratio",
+        "prepared(s)",
+        "candidates",
+        "matches"
     );
     run_case(
         "taxi10k-nycb",

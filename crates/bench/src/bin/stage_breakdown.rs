@@ -32,13 +32,23 @@ fn main() {
             m.scan_tasks.len(),
             m.scan_tasks.iter().map(|t| t.cost).sum::<f64>()
         );
-        println!("  build: {:.3}s  broadcast={}B", m.build_secs, m.broadcast_bytes);
+        println!(
+            "  build: {:.3}s  broadcast={}B",
+            m.build_secs, m.broadcast_bytes
+        );
         println!(
             "  probe: batches={} work={:.3}s barrier-sum={:.3}s",
             m.num_batches(),
             m.probe_batches.iter().map(|b| b.total()).sum::<f64>(),
-            m.probe_batches.iter().map(|b| b.barrier_time()).sum::<f64>()
+            m.probe_batches
+                .iter()
+                .map(|b| b.barrier_time())
+                .sum::<f64>()
         );
-        println!("  pairs spark={} ispmc={}", spark.pair_count(), m.result_rows);
+        println!(
+            "  pairs spark={} ispmc={}",
+            spark.pair_count(),
+            m.result_rows
+        );
     }
 }

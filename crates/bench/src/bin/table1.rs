@@ -11,8 +11,8 @@
 //! Usage: `cargo run --release -p bench --bin table1 -- [--scale f] [--threads n]`
 
 use bench::{
-    build_workload, ispmc_single_node_at_scale, ispmc_standalone_at_scale, parse_args, run_ispmc_warm, run_spark_warm,
-    spark_single_node_at_scale, Experiment,
+    build_workload, ispmc_single_node_at_scale, ispmc_standalone_at_scale, parse_args,
+    run_ispmc_warm, run_spark_warm, spark_single_node_at_scale, Experiment,
 };
 
 fn main() {
@@ -39,13 +39,7 @@ fn main() {
         let s = spark_single_node_at_scale(&spark, &replay);
         let i = ispmc_single_node_at_scale(&ispmc, &replay);
         let st = ispmc_standalone_at_scale(&ispmc, &replay);
-        println!(
-            "{:<16}{:>14.0}{:>12.0}{:>20.0}",
-            exp.label(),
-            s,
-            i,
-            st
-        );
+        println!("{:<16}{:>14.0}{:>12.0}{:>20.0}", exp.label(), s, i, st);
         eprintln!(
             "#   pairs={} infra-overhead={:.1}%  spark/ispmc={:.2}x",
             spark.pair_count(),

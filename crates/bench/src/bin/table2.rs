@@ -19,20 +19,17 @@ fn main() {
     let w = build_workload(scale, 42);
 
     println!("Table 2: Runtimes (in seconds) using 10 EC2 nodes (scale {scale})");
-    println!("{:<16}{:>14}{:>12}{:>12}", "", "SpatialSpark", "ISP-MC", "ratio");
+    println!(
+        "{:<16}{:>14}{:>12}{:>12}",
+        "", "SpatialSpark", "ISP-MC", "ratio"
+    );
     for exp in Experiment::all() {
         eprintln!("# running {} ...", exp.label());
         let spark = run_spark_warm(&w, exp, threads);
         let ispmc = run_ispmc_warm(&w, exp, threads);
         let s = spark_runtime_at_scale(&spark, &replay, 10);
         let i = ispmc_runtime_at_scale(&ispmc, &replay, 10);
-        println!(
-            "{:<16}{:>14.0}{:>12.0}{:>11.1}x",
-            exp.label(),
-            s,
-            i,
-            i / s
-        );
+        println!("{:<16}{:>14.0}{:>12.0}{:>11.1}x", exp.label(), s, i, i / s);
     }
     println!("(paper:      taxi-nycb 110/758, taxi-lion-100 65/307,");
     println!("             taxi-lion-500 249/1785, G10M-wwf 735/7728)");

@@ -25,6 +25,8 @@
 //!    left untouched because the polygon/polyline sides are generated
 //!    at full cardinality.
 
+pub mod timing;
+
 use cluster::TaskSpec;
 use geom::engine::SpatialPredicate;
 use impalite::{ImpaladConf, QueryMetrics};
@@ -436,9 +438,17 @@ pub fn run_hadoop_baseline_join_only(
 /// paper to ≥4 EC2 nodes ("due to the memory limitation of the EC2
 /// instances (15 GB per node)").
 pub fn estimate_memory_footprint(w: &Workload, exp: Experiment, replay: &Replay) -> u64 {
-    let left = w.dfs.stat(exp.left_path()).expect("dataset exists").total_bytes as f64
+    let left = w
+        .dfs
+        .stat(exp.left_path())
+        .expect("dataset exists")
+        .total_bytes as f64
         / replay.scale;
-    let right = w.dfs.stat(exp.right_path()).expect("dataset exists").total_bytes as f64;
+    let right = w
+        .dfs
+        .stat(exp.right_path())
+        .expect("dataset exists")
+        .total_bytes as f64;
     ((left + right) * 3.0) as u64
 }
 
@@ -483,9 +493,9 @@ pub fn parse_args() -> (Replay, usize) {
                 threads = args[i + 1].parse().expect("--threads takes an integer");
                 i += 2;
             }
-            other => panic!(
-                "unknown argument {other}; use --scale <f> --threads <n> --calibration <f>"
-            ),
+            other => {
+                panic!("unknown argument {other}; use --scale <f> --threads <n> --calibration <f>")
+            }
         }
     }
     (replay, threads)
@@ -511,7 +521,13 @@ mod tests {
     #[test]
     fn small_workload_builds_and_joins() {
         let w = build_small_workload(0.0001, 0.01, 7);
-        for p in [paths::TAXI, paths::NYCB, paths::LION, paths::GBIF, paths::WWF] {
+        for p in [
+            paths::TAXI,
+            paths::NYCB,
+            paths::LION,
+            paths::GBIF,
+            paths::WWF,
+        ] {
             assert!(w.dfs.exists(p), "{p} missing");
         }
         let spark = run_spark(&w, Experiment::TaxiNycb, 2);

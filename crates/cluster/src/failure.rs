@@ -163,14 +163,24 @@ mod tests {
     #[test]
     fn failure_after_completion_is_free() {
         let tasks = uniform(16); // 16 tasks on 8 cores = 2 s
-        let r = simulate_with_recompute(&tasks, &spec(), Failure { node: 0, at_time: 10.0 });
+        let r = simulate_with_recompute(
+            &tasks,
+            &spec(),
+            Failure {
+                node: 0,
+                at_time: 10.0,
+            },
+        );
         assert_eq!(r.makespan, r.fault_free_makespan);
         assert_eq!(r.tasks_rerun, 0);
         let r2 = simulate_with_restart(
             &tasks,
             &spec(),
             Scheduler::Dynamic,
-            Failure { node: 0, at_time: 10.0 },
+            Failure {
+                node: 0,
+                at_time: 10.0,
+            },
         );
         assert_eq!(r2.makespan, r2.fault_free_makespan);
     }
@@ -203,8 +213,22 @@ mod tests {
         // `T + outstanding / survivor_rate` is the same for every T
         // before completion — a neat property the model should honour.
         let tasks = uniform(160);
-        let early = simulate_with_recompute(&tasks, &spec(), Failure { node: 0, at_time: 1.0 });
-        let late = simulate_with_recompute(&tasks, &spec(), Failure { node: 0, at_time: 18.0 });
+        let early = simulate_with_recompute(
+            &tasks,
+            &spec(),
+            Failure {
+                node: 0,
+                at_time: 1.0,
+            },
+        );
+        let late = simulate_with_recompute(
+            &tasks,
+            &spec(),
+            Failure {
+                node: 0,
+                at_time: 18.0,
+            },
+        );
         assert!((early.makespan - late.makespan).abs() < 0.5);
         // But a late failure has far less left to re-run.
         assert!(late.tasks_rerun < early.tasks_rerun);
@@ -219,7 +243,14 @@ mod tests {
             mem_per_node: 1 << 30,
         };
         let tasks = uniform(8);
-        let r = simulate_with_recompute(&tasks, &single, Failure { node: 0, at_time: 1.0 });
+        let r = simulate_with_recompute(
+            &tasks,
+            &single,
+            Failure {
+                node: 0,
+                at_time: 1.0,
+            },
+        );
         assert!(r.makespan > r.fault_free_makespan);
         assert_eq!(r.tasks_rerun, 8);
     }

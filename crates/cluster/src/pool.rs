@@ -35,7 +35,12 @@ pub struct TaskTiming {
 ///
 /// The closure runs on multiple threads, hence `Sync`; results are
 /// collected per worker and stitched back in order.
-pub fn run_tasks<T, R, F>(items: Vec<T>, threads: usize, mode: ScheduleMode, f: F) -> (Vec<R>, Vec<TaskTiming>)
+pub fn run_tasks<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    mode: ScheduleMode,
+    f: F,
+) -> (Vec<R>, Vec<TaskTiming>)
 where
     T: Send + Sync,
     R: Send,
@@ -67,11 +72,11 @@ where
     let f_ref = &f;
     let mut per_worker: Vec<Vec<(usize, R, f64)>> = Vec::with_capacity(threads);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
             let counter = &counter;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R, f64)> = Vec::with_capacity(n / threads + 1);
                 match mode {
                     ScheduleMode::Dynamic => loop {
@@ -97,17 +102,23 @@ where
             }));
         }
         for h in handles {
-            per_worker.push(h.join().expect("worker thread panicked"));
+            match h.join() {
+                Ok(local) => per_worker.push(local),
+                // A worker panicking is a bug in the caller's closure;
+                // surface it on the driver thread with the same message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("thread scope failed");
+    });
 
-    // Stitch results back into input order.
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Stitch results back into input order. Workers process disjoint
+    // index sets covering 0..n, so sorting the tagged results restores
+    // the original order without an Option-per-slot intermediate.
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
     let mut timings = Vec::with_capacity(n);
     for (w, local) in per_worker.into_iter().enumerate() {
         for (index, r, secs) in local {
-            slots[index] = Some(r);
+            indexed.push((index, r));
             timings.push(TaskTiming {
                 index,
                 worker: w,
@@ -116,10 +127,8 @@ where
         }
     }
     timings.sort_by_key(|t| t.index);
-    let results = slots
-        .into_iter()
-        .map(|s| s.expect("every item processed exactly once"))
-        .collect();
+    indexed.sort_by_key(|&(index, _)| index);
+    let results = indexed.into_iter().map(|(_, r)| r).collect();
     (results, timings)
 }
 
@@ -157,8 +166,7 @@ mod tests {
             // Enough work per item that no single worker grabs everything.
             (0..2000).fold(x, |a, b| a.wrapping_add(b))
         });
-        let workers: std::collections::HashSet<usize> =
-            timings.iter().map(|t| t.worker).collect();
+        let workers: std::collections::HashSet<usize> = timings.iter().map(|t| t.worker).collect();
         assert!(workers.len() > 1, "expected >1 worker, got {workers:?}");
     }
 

@@ -106,14 +106,16 @@ fn chunked_assignment(num_tasks: usize, num_nodes: usize) -> Vec<usize> {
 fn simulate_dynamic(tasks: &[TaskSpec], spec: &ClusterSpec) -> SimReport {
     let cores = spec.total_cores();
     // Min-heap of (free_time, core_id).
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = (0..cores)
-        .map(|c| Reverse((OrdF64(0.0), c)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..cores).map(|c| Reverse((OrdF64(0.0), c))).collect();
     let mut node_busy = vec![0.0; spec.num_nodes];
     let mut node_tasks = vec![0usize; spec.num_nodes];
     let mut makespan = 0.0f64;
     for t in tasks {
-        let Reverse((OrdF64(free_at), core)) = heap.pop().expect("at least one core");
+        // A zero-core cluster spec can run nothing; report what we have.
+        let Some(Reverse((OrdF64(free_at), core))) = heap.pop() else {
+            break;
+        };
         let done = free_at + t.cost;
         let node = core / spec.cores_per_node;
         node_busy[node] += t.cost;

@@ -60,12 +60,7 @@ impl IspMcRun {
 impl IspMc {
     /// Creates the system with `left`/`right` registered as `(name,
     /// path)` tables.
-    pub fn new(
-        conf: ImpaladConf,
-        dfs: MiniDfs,
-        left: (&str, &str),
-        right: (&str, &str),
-    ) -> IspMc {
+    pub fn new(conf: ImpaladConf, dfs: MiniDfs, left: (&str, &str), right: (&str, &str)) -> IspMc {
         let mut catalog = Catalog::new();
         catalog.register(TableDef::id_geom(left.0, left.1));
         catalog.register(TableDef::id_geom(right.0, right.1));

@@ -305,10 +305,18 @@ mod tests {
         let left = grid_points(10);
         let right = quadrant_polys(5.0);
         let engine = PreparedEngine;
-        let indexed =
-            crate::normalize_pairs(broadcast_index_join(&left, &right, SpatialPredicate::Within, &engine));
-        let nested =
-            crate::normalize_pairs(nested_loop_join(&left, &right, SpatialPredicate::Within, &engine));
+        let indexed = crate::normalize_pairs(broadcast_index_join(
+            &left,
+            &right,
+            SpatialPredicate::Within,
+            &engine,
+        ));
+        let nested = crate::normalize_pairs(nested_loop_join(
+            &left,
+            &right,
+            SpatialPredicate::Within,
+            &engine,
+        ));
         assert_eq!(indexed, nested);
         assert_eq!(indexed.len(), 100);
     }
@@ -335,10 +343,7 @@ mod tests {
     #[test]
     fn nearestd_join_with_radius_expansion() {
         let left = vec![(0, Point::new(5.0, 1.0)), (1, Point::new(5.0, 3.0))];
-        let right = vec![(
-            10,
-            geom::wkt::parse("LINESTRING (0 0, 10 0)").unwrap(),
-        )];
+        let right = vec![(10, geom::wkt::parse("LINESTRING (0 0, 10 0)").unwrap())];
         let engine = PreparedEngine;
         let pairs = broadcast_index_join(&left, &right, SpatialPredicate::NearestD(2.0), &engine);
         assert_eq!(pairs, vec![(0, 10)]);
@@ -398,9 +403,7 @@ mod tests {
     fn empty_inputs() {
         let engine = PreparedEngine;
         assert!(broadcast_index_join(&[], &[], SpatialPredicate::Within, &engine).is_empty());
-        assert!(
-            partitioned_join(&[], &[], SpatialPredicate::Within, &engine, 16).is_empty()
-        );
+        assert!(partitioned_join(&[], &[], SpatialPredicate::Within, &engine, 16).is_empty());
         let left = grid_points(3);
         assert!(broadcast_index_join(&left, &[], SpatialPredicate::Within, &engine).is_empty());
     }

@@ -104,20 +104,13 @@ impl SpatialSpark {
             broadcast_bytes: 0,
             shuffle_bytes: 0,
         });
-        let broadcast = self
-            .sc
-            .broadcast(tree, right_stat.total_bytes as u64);
-        self.sc.record_movement(
-            "broadcast:strtree",
-            broadcast.approx_bytes(),
-            0,
-        );
+        let broadcast = self.sc.broadcast(tree, right_stat.total_bytes as u64);
+        self.sc
+            .record_movement("broadcast:strtree", broadcast.approx_bytes(), 0);
 
         // --- executors: parse left, probe the broadcast tree ---
         let left = self.sc.text_file(left_path)?;
-        let parsed = left.map("map:parse-wkt", |line: &String| {
-            parse_point_record(line, 1)
-        });
+        let parsed = left.map("map:parse-wkt", |line: &String| parse_point_record(line, 1));
         let tree_ref = broadcast.clone();
         let pairs_ds = parsed.flat_map_with("flatMap:rtree-probe+refine", move |rec, out| {
             if let Some((id, p)) = rec {

@@ -7,9 +7,8 @@
 //! clusters hold most of the points, which is the skew that stresses
 //! static scheduling in the G10M-wwf experiment.
 
+use crate::rng::StdRng;
 use geom::{Geometry, Point};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::rng::{lognormal, normal_scaled, seeded};
 use crate::WORLD_EXTENT;
@@ -63,10 +62,9 @@ pub fn points(n: usize, seed: u64) -> Vec<Point> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let pick: f64 = rng.random_range(0.0..1.0);
-        let c = cs
-            .iter()
-            .find(|c| pick <= c.cumulative)
-            .unwrap_or(cs.last().expect("clusters non-empty"));
+        let Some(c) = cs.iter().find(|c| pick <= c.cumulative).or(cs.last()) else {
+            break; // no clusters configured: nothing to draw from
+        };
         let p = Point::new(
             normal_scaled(&mut rng, c.cx, c.spread),
             normal_scaled(&mut rng, c.cy, c.spread * 0.7),

@@ -107,11 +107,7 @@ where
 ///
 /// # Errors
 /// Propagates [`DfsError`] from the underlying file system.
-pub fn write_dataset(
-    dfs: &MiniDfs,
-    path: &str,
-    geoms: &[Geometry],
-) -> Result<FileStat, DfsError> {
+pub fn write_dataset(dfs: &MiniDfs, path: &str, geoms: &[Geometry]) -> Result<FileStat, DfsError> {
     dfs.write_lines(path, to_wkt_lines(geoms))
 }
 

@@ -7,9 +7,8 @@
 //! density correlate in the real data, which is what makes the
 //! taxi-lion join refinement-heavy where it matters.
 
+use crate::rng::StdRng;
 use geom::{Geometry, LineString, Point};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::rng::{normal_scaled, seeded};
 use crate::NYC_EXTENT;
@@ -61,8 +60,11 @@ fn street(rng: &mut StdRng, start: Point) -> LineString {
     let vertices = rng.random_range(2..=6usize);
     let length: f64 = rng.random_range(150.0..800.0);
     // Mostly grid-aligned with a small rotation, like Manhattan's grid.
-    let base_angle = if rng.random_range(0.0..1.0) < 0.5 { 0.0 } else { std::f64::consts::FRAC_PI_2 }
-        + rng.random_range(-0.25..0.25);
+    let base_angle = if rng.random_range(0.0..1.0) < 0.5 {
+        0.0
+    } else {
+        std::f64::consts::FRAC_PI_2
+    } + rng.random_range(-0.25..0.25);
     let step = length / (vertices - 1) as f64;
     let mut coords = Vec::with_capacity(vertices * 2);
     let (mut x, mut y) = (start.x, start.y);
@@ -105,8 +107,7 @@ mod tests {
                 "street length {len} ft out of range"
             );
         }
-        let avg: f64 =
-            lines.iter().map(LineString::length).sum::<f64>() / lines.len() as f64;
+        let avg: f64 = lines.iter().map(LineString::length).sum::<f64>() / lines.len() as f64;
         assert!((200.0..700.0).contains(&avg), "avg length {avg}");
     }
 

@@ -8,9 +8,8 @@
 //! edges to reproduce the vertex-count statistics that drive refinement
 //! cost.
 
+use crate::rng::StdRng;
 use geom::{Geometry, Polygon};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::rng::seeded;
 use crate::NYC_EXTENT;
@@ -18,8 +17,8 @@ use crate::NYC_EXTENT;
 /// Generates `n` census-block polygons, deterministically from `seed`.
 pub fn polygons(n: usize, seed: u64) -> Vec<Polygon> {
     let mut rng = seeded(seed ^ 0x6e79_6362); // "nycb"
-    // Pick a grid shape with aspect ratio near the extent's and at
-    // least n cells.
+                                              // Pick a grid shape with aspect ratio near the extent's and at
+                                              // least n cells.
     let aspect = NYC_EXTENT.width() / NYC_EXTENT.height();
     let rows = ((n as f64 / aspect).sqrt()).ceil().max(1.0) as usize;
     let cols = n.div_ceil(rows);
@@ -63,7 +62,9 @@ fn jittered_lines(rng: &mut StdRng, lo: f64, hi: f64, count: usize) -> Vec<f64> 
         x += w;
         lines.push(x);
     }
-    *lines.last_mut().expect("non-empty") = hi; // kill rounding drift
+    if let Some(last) = lines.last_mut() {
+        *last = hi; // kill rounding drift
+    }
     lines
 }
 
@@ -72,7 +73,12 @@ fn jittered_lines(rng: &mut StdRng, lo: f64, hi: f64, count: usize) -> Vec<f64> 
 /// paper's nycb average).
 fn block_polygon(rng: &mut StdRng, x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
     let extra = rng.random_range(0..=8u32);
-    let per_edge = [extra / 4, extra / 4 + extra % 4 / 2, extra / 4, extra / 4 + extra % 2];
+    let per_edge = [
+        extra / 4,
+        extra / 4 + extra % 4 / 2,
+        extra / 4,
+        extra / 4 + extra % 2,
+    ];
     let mut coords = Vec::with_capacity(((5 + extra) * 2) as usize);
     let corners = [(x0, y0), (x1, y0), (x1, y1), (x0, y1), (x0, y0)];
     for e in 0..4 {
@@ -81,7 +87,9 @@ fn block_polygon(rng: &mut StdRng, x0: f64, y0: f64, x1: f64, y1: f64) -> Polygo
         coords.push(ax);
         coords.push(ay);
         // Extra vertices strictly interior to the edge, sorted.
-        let mut ts: Vec<f64> = (0..per_edge[e]).map(|_| rng.random_range(0.05..0.95)).collect();
+        let mut ts: Vec<f64> = (0..per_edge[e])
+            .map(|_| rng.random_range(0.05..0.95))
+            .collect();
         ts.sort_by(f64::total_cmp);
         for t in ts {
             coords.push(ax + t * (bx - ax));

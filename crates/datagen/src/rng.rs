@@ -1,15 +1,173 @@
-//! Seeded random-number helpers shared by the generators.
+//! Seeded random-number generation shared by the generators.
+//!
+//! A from-scratch, zero-dependency replacement for the `rand` crate:
+//! [`StdRng`] is xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64, which is the same construction `rand`'s small-rng family
+//! uses. The API mirrors the subset of `rand` the generators relied on
+//! (`seed_from_u64`, `random_range`, `random`), so datasets remain
+//! reproducible from a seed — though the streams differ from the old
+//! `rand`-backed ones, every generator in this crate derives its
+//! statistics (cardinality, skew, vertex counts) from the distribution
+//! shape, not from specific draws.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+/// The crate's deterministic generator: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64, following
+    /// the reference initialisation recommended by the xoshiro authors.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, bound)` without modulo bias (Lemire's
+    /// multiply-shift rejection method).
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform sample from a range, mirroring `rand`'s
+    /// `random_range`. Supported ranges: `f64` half-open, and `u32` /
+    /// `usize` half-open and inclusive.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// A uniform draw over the whole domain of `T`, mirroring `rand`'s
+    /// `random`.
+    pub fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+/// Range types [`StdRng::random_range`] accepts.
+pub trait SampleRange {
+    type Output;
+
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range");
+        let span = self.end - self.start;
+        // Clamp keeps rounding at the top of huge spans inside [start, end).
+        let v = self.start + rng.next_f64() * span;
+        if v >= self.end {
+            self.end - span * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for std::ops::Range<u32> {
+    type Output = u32;
+
+    fn sample(self, rng: &mut StdRng) -> u32 {
+        debug_assert!(self.start < self.end, "empty u32 range");
+        self.start + rng.next_bounded((self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<u32> {
+    type Output = u32;
+
+    fn sample(self, rng: &mut StdRng) -> u32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi, "empty u32 inclusive range");
+        lo + rng.next_bounded((hi - lo) as u64 + 1) as u32
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+
+    fn sample(self, rng: &mut StdRng) -> usize {
+        debug_assert!(self.start < self.end, "empty usize range");
+        self.start + rng.next_bounded((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi, "empty usize inclusive range");
+        lo + rng.next_bounded((hi - lo) as u64 + 1) as usize
+    }
+}
+
+/// Types [`StdRng::random`] can draw uniformly over their whole domain.
+pub trait Standard {
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> f64 {
+        rng.next_f64()
+    }
+}
 
 /// Creates the deterministic generator used across this crate.
 pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-/// Standard normal sample via Box–Muller (rand's core crate ships no
-/// distributions; this keeps the dependency list to the approved set).
+/// Standard normal sample via Box–Muller.
 pub fn normal(rng: &mut StdRng) -> f64 {
     let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.random_range(0.0..1.0);
@@ -41,6 +199,43 @@ mod tests {
         }
         let mut c = seeded(43);
         assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = seeded(1);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let u = rng.random_range(3..9u32);
+            assert!((3..9).contains(&u));
+            let v = rng.random_range(3..=9u32);
+            assert!((3..=9).contains(&v));
+            let s = rng.random_range(2..=5usize);
+            assert!((2..=5).contains(&s));
+        }
+        // Degenerate inclusive range has a single value.
+        assert_eq!(rng.random_range(4..=4u32), 4);
+    }
+
+    #[test]
+    fn bounded_draws_cover_all_values() {
+        let mut rng = seeded(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.next_bounded(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+        assert_eq!(rng.next_bounded(0), 0);
+        assert_eq!(rng.next_bounded(1), 0);
+    }
+
+    #[test]
+    fn uniform_f64_has_sane_moments() {
+        let mut rng = seeded(11);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! uniform background (20 %), all clipped to [`crate::NYC_EXTENT`].
 
 use geom::{Geometry, Point};
-use rand::RngExt;
 
 use crate::rng::{normal_scaled, seeded};
 use crate::NYC_EXTENT;
@@ -23,14 +22,44 @@ struct Hotspot {
 fn hotspots() -> Vec<Hotspot> {
     vec![
         // Dense "midtown"/"downtown" style cores.
-        Hotspot { cx: 30_000.0, cy: 80_000.0, spread: 3_000.0, weight: 0.30 },
-        Hotspot { cx: 28_000.0, cy: 68_000.0, spread: 2_500.0, weight: 0.20 },
-        Hotspot { cx: 35_000.0, cy: 92_000.0, spread: 4_000.0, weight: 0.12 },
+        Hotspot {
+            cx: 30_000.0,
+            cy: 80_000.0,
+            spread: 3_000.0,
+            weight: 0.30,
+        },
+        Hotspot {
+            cx: 28_000.0,
+            cy: 68_000.0,
+            spread: 2_500.0,
+            weight: 0.20,
+        },
+        Hotspot {
+            cx: 35_000.0,
+            cy: 92_000.0,
+            spread: 4_000.0,
+            weight: 0.12,
+        },
         // Outer-borough centres.
-        Hotspot { cx: 55_000.0, cy: 60_000.0, spread: 6_000.0, weight: 0.08 },
+        Hotspot {
+            cx: 55_000.0,
+            cy: 60_000.0,
+            spread: 6_000.0,
+            weight: 0.08,
+        },
         // Airport-like clusters.
-        Hotspot { cx: 75_000.0, cy: 45_000.0, spread: 1_500.0, weight: 0.06 },
-        Hotspot { cx: 62_000.0, cy: 95_000.0, spread: 1_500.0, weight: 0.04 },
+        Hotspot {
+            cx: 75_000.0,
+            cy: 45_000.0,
+            spread: 1_500.0,
+            weight: 0.06,
+        },
+        Hotspot {
+            cx: 62_000.0,
+            cy: 95_000.0,
+            spread: 1_500.0,
+            weight: 0.04,
+        },
     ]
 }
 

@@ -7,9 +7,8 @@
 //! sample every 15–45 seconds — the sampling profile of the real NYC
 //! taxi feed.
 
+use crate::rng::StdRng;
 use geom::{LineString, Trajectory};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::rng::{normal_scaled, seeded};
 use crate::NYC_EXTENT;
@@ -43,17 +42,26 @@ fn trip(rng: &mut StdRng) -> Trajectory {
     let mut coords = Vec::with_capacity(samples * 2);
     let mut times = Vec::with_capacity(samples);
     let mut t = rng.random_range(0.0..86_400.0); // seconds into the day
-    // Mostly axis-aligned movement, like a street grid.
-    let mut heading = if rng.random_range(0.0..1.0) < 0.5 { 0.0 } else { std::f64::consts::FRAC_PI_2 };
+                                                 // Mostly axis-aligned movement, like a street grid.
+    let mut heading = if rng.random_range(0.0..1.0) < 0.5 {
+        0.0
+    } else {
+        std::f64::consts::FRAC_PI_2
+    };
     coords.push(x);
     coords.push(y);
     times.push(t);
     for _ in 1..samples {
         let dt = rng.random_range(15.0..45.0);
         let speed = rng.random_range(15.0..45.0); // ft/s
-        // Occasional turns onto the cross street.
+                                                  // Occasional turns onto the cross street.
         if rng.random_range(0.0..1.0) < 0.3 {
-            heading += std::f64::consts::FRAC_PI_2 * if rng.random_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+            heading += std::f64::consts::FRAC_PI_2
+                * if rng.random_range(0.0..1.0) < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                };
         }
         x = (x + speed * dt * heading.cos()).clamp(NYC_EXTENT.min_x, NYC_EXTENT.max_x);
         y = (y + speed * dt * heading.sin()).clamp(NYC_EXTENT.min_y, NYC_EXTENT.max_y);

@@ -10,9 +10,8 @@
 //! makes ISP-MC's static scheduling fall behind in the G10M-wwf
 //! experiment (§V.C).
 
+use crate::rng::StdRng;
 use geom::{Geometry, Polygon};
-use rand::rngs::StdRng;
-use rand::RngExt;
 
 use crate::rng::{lognormal, seeded};
 

@@ -29,7 +29,8 @@ pub fn convex_hull(points: &[Point]) -> Result<Polygon, GeomError> {
         ));
     }
 
-    let cross = |o: Point, a: Point, b: Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+    let cross =
+        |o: Point, a: Point, b: Point| (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
 
     let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
     for &p in &pts {

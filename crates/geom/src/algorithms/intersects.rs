@@ -204,11 +204,8 @@ mod tests {
         .unwrap();
         assert!(polygon_contains_polygon(&outer, &square(1.0, 1.0, 2.0)));
         // Straddles the hole: vertices inside, edge midpoint in the hole.
-        let straddle = Polygon::from_coords(
-            vec![3.0, 4.5, 7.0, 4.5, 7.0, 5.5, 3.0, 5.5],
-            vec![],
-        )
-        .unwrap();
+        let straddle =
+            Polygon::from_coords(vec![3.0, 4.5, 7.0, 4.5, 7.0, 5.5, 3.0, 5.5], vec![]).unwrap();
         assert!(!polygon_contains_polygon(&outer, &straddle));
         // Outside entirely.
         assert!(!polygon_contains_polygon(&outer, &square(9.0, 9.0, 5.0)));

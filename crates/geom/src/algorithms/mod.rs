@@ -10,5 +10,5 @@ pub mod distance;
 pub mod hull;
 pub mod intersects;
 pub mod pip;
-pub mod simplify;
 pub mod segment;
+pub mod simplify;

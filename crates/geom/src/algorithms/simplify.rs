@@ -70,10 +70,8 @@ mod tests {
 
     #[test]
     fn straight_line_collapses_to_endpoints() {
-        let ls = LineString::new(
-            (0..20).flat_map(|i| [i as f64, 0.0]).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let ls =
+            LineString::new((0..20).flat_map(|i| [i as f64, 0.0]).collect::<Vec<_>>()).unwrap();
         let s = simplify_linestring(&ls, 0.01).unwrap();
         assert_eq!(s.num_points(), 2);
         assert_eq!(s.point(0), Point::new(0.0, 0.0));

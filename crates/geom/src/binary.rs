@@ -127,6 +127,10 @@ impl Cursor<'_> {
         GeomError::Invalid(format!("binary geometry truncated at byte {}", self.pos))
     }
 
+    // The fixed-width readers run once per coordinate of every decoded
+    // geometry — the per-record cost `benches/representation.rs`
+    // measures — so they must not allocate or panic.
+    // tidy:alloc-free:start
     fn u8(&mut self) -> Result<u8, GeomError> {
         let b = *self.bytes.get(self.pos).ok_or_else(|| self.truncated())?;
         self.pos += 1;
@@ -139,8 +143,10 @@ impl Cursor<'_> {
             .bytes
             .get(self.pos..end)
             .ok_or_else(|| self.truncated())?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(slice);
         self.pos = end;
-        Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(buf))
     }
 
     fn f64(&mut self) -> Result<f64, GeomError> {
@@ -149,9 +155,12 @@ impl Cursor<'_> {
             .bytes
             .get(self.pos..end)
             .ok_or_else(|| self.truncated())?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(slice);
         self.pos = end;
-        Ok(f64::from_le_bytes(slice.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(buf))
     }
+    // tidy:alloc-free:end
 
     fn coords(&mut self) -> Result<Vec<f64>, GeomError> {
         let n = self.u32()? as usize;

@@ -133,6 +133,10 @@ impl RefinementEngine for FlatEngine {
         geom.clone()
     }
 
+    // The predicate paths below run once per surviving candidate pair;
+    // keeping them allocation-free is the whole point of the JTS-like
+    // engine (vs the boxed temporaries of [`NaiveEngine`]).
+    // tidy:alloc-free:start
     fn within(&self, p: Point, target: &Geometry) -> bool {
         target.contains_point(p)
     }
@@ -153,6 +157,7 @@ impl RefinementEngine for FlatEngine {
     fn distance(&self, p: Point, target: &Geometry) -> f64 {
         target.distance_to_point(p)
     }
+    // tidy:alloc-free:end
 }
 
 /// The prepared-geometry engine: one-time edge-index construction, then
@@ -173,9 +178,9 @@ impl RefinementEngine for PreparedEngine {
     fn prepare(&self, geom: &Geometry) -> FastPrepared {
         match geom {
             Geometry::Polygon(poly) => FastPrepared::Polygon(PreparedPolygon::new(poly)),
-            Geometry::MultiPolygon(mp) => FastPrepared::MultiPolygon(
-                mp.polygons.iter().map(PreparedPolygon::new).collect(),
-            ),
+            Geometry::MultiPolygon(mp) => {
+                FastPrepared::MultiPolygon(mp.polygons.iter().map(PreparedPolygon::new).collect())
+            }
             _ => {
                 if let Some(l) = PreparedLineString::from_geometry(geom) {
                     FastPrepared::Line(l)
@@ -189,9 +194,7 @@ impl RefinementEngine for PreparedEngine {
     fn within(&self, p: Point, target: &FastPrepared) -> bool {
         match target {
             FastPrepared::Polygon(poly) => poly.contains_point(p),
-            FastPrepared::MultiPolygon(parts) => {
-                parts.iter().any(|part| part.contains_point(p))
-            }
+            FastPrepared::MultiPolygon(parts) => parts.iter().any(|part| part.contains_point(p)),
             _ => false,
         }
     }
@@ -254,8 +257,8 @@ mod tests {
 
     #[test]
     fn engines_agree_on_within() {
-        let geom = wkt::parse("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 3 1, 3 3, 1 3, 1 1))")
-            .unwrap();
+        let geom =
+            wkt::parse("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 3 1, 3 3, 1 3, 1 1))").unwrap();
         let fast = PreparedEngine;
         let slow = NaiveEngine;
         let fp = fast.prepare(&geom);

@@ -123,13 +123,18 @@ impl Polygon {
             max_x,
             max_y,
         } = env;
-        Polygon::from_coords(
-            vec![
+        // Built directly: five closed points always satisfy the ring
+        // invariants, so no fallible constructor is needed.
+        let exterior = Ring {
+            coords: vec![
                 min_x, min_y, max_x, min_y, max_x, max_y, min_x, max_y, min_x, min_y,
             ],
-            vec![],
-        )
-        .expect("rectangle coordinates are always a valid ring")
+            env,
+        };
+        Polygon {
+            exterior,
+            holes: vec![],
+        }
     }
 
     /// The exterior ring.
@@ -242,9 +247,7 @@ mod tests {
     fn concave_polygon_containment() {
         // L-shape: big square minus top-right quadrant.
         let l = Polygon::from_coords(
-            vec![
-                0.0, 0.0, 2.0, 0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0, 2.0,
-            ],
+            vec![0.0, 0.0, 2.0, 0.0, 2.0, 1.0, 1.0, 1.0, 1.0, 2.0, 0.0, 2.0],
             vec![],
         )
         .unwrap();

@@ -154,7 +154,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), GeomError> {
+    fn consume(&mut self, b: u8) -> Result<(), GeomError> {
         self.skip_ws();
         if self.peek() == Some(b) {
             self.pos += 1;
@@ -184,9 +184,9 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.error("expected a keyword"));
         }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("keyword bytes are ASCII")
-            .to_ascii_uppercase())
+        let word = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("keyword is not ASCII"))?;
+        Ok(word.to_ascii_uppercase())
     }
 
     /// True (and consumed) when the next keyword is `EMPTY`.
@@ -214,7 +214,7 @@ impl<'a> Parser<'a> {
             return Err(self.error("expected a number"));
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII")
+            .map_err(|_| self.error("number is not ASCII"))?
             .parse::<f64>()
             .map_err(|_| GeomError::WktParse {
                 message: "malformed number".into(),
@@ -224,7 +224,7 @@ impl<'a> Parser<'a> {
 
     /// `( x y, x y, ... )` — a parenthesised coordinate list, returned flat.
     fn coord_list(&mut self) -> Result<Vec<f64>, GeomError> {
-        self.expect(b'(')?;
+        self.consume(b'(')?;
         let mut coords = Vec::with_capacity(16);
         loop {
             let x = self.number()?;
@@ -235,19 +235,19 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        self.expect(b')')?;
+        self.consume(b')')?;
         Ok(coords)
     }
 
     /// `( (ring), (ring), ... )` — a polygon body.
     fn polygon_body(&mut self) -> Result<Polygon, GeomError> {
-        self.expect(b'(')?;
+        self.consume(b'(')?;
         let exterior = Ring::new(self.coord_list()?)?;
         let mut holes = Vec::new();
         while self.consume_if(b',') {
             holes.push(Ring::new(self.coord_list()?)?);
         }
-        self.expect(b')')?;
+        self.consume(b')')?;
         Ok(Polygon::new(exterior, holes))
     }
 
@@ -255,10 +255,10 @@ impl<'a> Parser<'a> {
         let kw = self.keyword()?;
         match kw.as_str() {
             "POINT" => {
-                self.expect(b'(')?;
+                self.consume(b'(')?;
                 let x = self.number()?;
                 let y = self.number()?;
-                self.expect(b')')?;
+                self.consume(b')')?;
                 Ok(Geometry::Point(Point::new(x, y)))
             }
             "LINESTRING" => {
@@ -270,7 +270,7 @@ impl<'a> Parser<'a> {
                 if self.try_empty() {
                     return Ok(Geometry::MultiPoint(MultiPoint::new(vec![])));
                 }
-                self.expect(b'(')?;
+                self.consume(b'(')?;
                 let mut points = Vec::new();
                 loop {
                     // Both `(x y)` and bare `x y` member syntax are legal WKT.
@@ -278,21 +278,21 @@ impl<'a> Parser<'a> {
                     let x = self.number()?;
                     let y = self.number()?;
                     if parenthesised {
-                        self.expect(b')')?;
+                        self.consume(b')')?;
                     }
                     points.push(Point::new(x, y));
                     if !self.consume_if(b',') {
                         break;
                     }
                 }
-                self.expect(b')')?;
+                self.consume(b')')?;
                 Ok(Geometry::MultiPoint(MultiPoint::new(points)))
             }
             "MULTILINESTRING" => {
                 if self.try_empty() {
                     return Ok(Geometry::MultiLineString(MultiLineString::new(vec![])));
                 }
-                self.expect(b'(')?;
+                self.consume(b'(')?;
                 let mut lines = Vec::new();
                 loop {
                     lines.push(LineString::new(self.coord_list()?)?);
@@ -300,14 +300,14 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                self.expect(b')')?;
+                self.consume(b')')?;
                 Ok(Geometry::MultiLineString(MultiLineString::new(lines)))
             }
             "MULTIPOLYGON" => {
                 if self.try_empty() {
                     return Ok(Geometry::MultiPolygon(MultiPolygon::new(vec![])));
                 }
-                self.expect(b'(')?;
+                self.consume(b'(')?;
                 let mut polygons = Vec::new();
                 loop {
                     polygons.push(self.polygon_body()?);
@@ -315,7 +315,7 @@ impl<'a> Parser<'a> {
                         break;
                     }
                 }
-                self.expect(b')')?;
+                self.consume(b')')?;
                 Ok(Geometry::MultiPolygon(MultiPolygon::new(polygons)))
             }
             other => Err(GeomError::WktParse {

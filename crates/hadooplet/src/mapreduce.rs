@@ -97,7 +97,9 @@ impl JobMetrics {
         // parallel.
         let per_node_bytes = self.intermediate_bytes / num_nodes.max(1) as u64;
         total += conf.disk.round_trip_cost(per_node_bytes);
-        total += conf.network.shuffle_cost(self.intermediate_bytes, num_nodes);
+        total += conf
+            .network
+            .shuffle_cost(self.intermediate_bytes, num_nodes);
         total += simulate(&self.reduce_tasks, &spec, Scheduler::Dynamic).makespan;
         total
     }
@@ -174,18 +176,14 @@ impl MapReduce {
             blocks.extend(self.dfs.blocks(path)?);
         }
         let localities: Vec<Option<usize>> = blocks.iter().map(|b| Some(b.primary_node)).collect();
-        let (map_outputs, map_timings) = cluster::run_tasks(
-            blocks,
-            self.conf.threads,
-            ScheduleMode::Dynamic,
-            |block| {
+        let (map_outputs, map_timings) =
+            cluster::run_tasks(blocks, self.conf.threads, ScheduleMode::Dynamic, |block| {
                 let mut emitted = Vec::new();
                 for line in block.lines() {
                     map(line, &mut emitted);
                 }
                 emitted
-            },
-        );
+            });
         let map_tasks: Vec<TaskSpec> = map_timings
             .iter()
             .map(|t| TaskSpec {
@@ -379,6 +377,9 @@ mod tests {
         let d = DiskModel::ec2_magnetic();
         assert_eq!(d.round_trip_cost(0), 0.0);
         let one_gb = d.round_trip_cost(1 << 30);
-        assert!(one_gb > 15.0, "1 GiB round trip {one_gb} takes tens of seconds");
+        assert!(
+            one_gb > 15.0,
+            "1 GiB round trip {one_gb} takes tens of seconds"
+        );
     }
 }

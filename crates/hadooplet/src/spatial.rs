@@ -263,10 +263,7 @@ mod tests {
     }
 
     fn reference(mr: &MapReduce, left: &str, right: &str, pred: SpatialPredicate) -> Vec<JoinPair> {
-        let l = spatialjoin::join::parse_point_records(
-            &mr.dfs().read_all_lines(left).unwrap(),
-            1,
-        );
+        let l = spatialjoin::join::parse_point_records(&mr.dfs().read_all_lines(left).unwrap(), 1);
         let r = parse_geom_records(&mr.dfs().read_all_lines(right).unwrap(), 1);
         spatialjoin::normalize_pairs(join::broadcast_index_join(&l, &r, pred, &PreparedEngine))
     }
@@ -279,15 +276,17 @@ mod tests {
             spatialjoin::normalize_pairs(run.pairs.clone()),
             reference(&mr, "/taxi", "/nycb", SpatialPredicate::Within)
         );
-        assert!(run.metrics.intermediate_bytes > 0, "text shuffle must be charged");
+        assert!(
+            run.metrics.intermediate_bytes > 0,
+            "text shuffle must be charged"
+        );
         assert_eq!(run.strategy, "hadoopgis-reduce-side");
     }
 
     #[test]
     fn spatialhadoop_matches_reference_within() {
         let mr = fixture();
-        let run =
-            spatialhadoop_join(&mr, "/taxi", "/nycb", SpatialPredicate::Within, 16).unwrap();
+        let run = spatialhadoop_join(&mr, "/taxi", "/nycb", SpatialPredicate::Within, 16).unwrap();
         assert_eq!(
             spatialjoin::normalize_pairs(run.pairs.clone()),
             reference(&mr, "/taxi", "/nycb", SpatialPredicate::Within)

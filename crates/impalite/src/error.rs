@@ -49,6 +49,8 @@ mod tests {
         assert!(e.to_string().contains("token 3"));
         let d: ImpalaError = minihdfs::DfsError::NotFound("/x".into()).into();
         assert!(matches!(d, ImpalaError::Dfs(_)));
-        assert!(ImpalaError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(ImpalaError::UnknownTable("t".into())
+            .to_string()
+            .contains("t"));
     }
 }

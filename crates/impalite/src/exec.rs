@@ -116,15 +116,13 @@ impl QueryMetrics {
         total += net.broadcast_cost(self.broadcast_bytes, num_nodes);
         // Every instance builds its R-tree concurrently.
         total += self.build_secs;
-        total += net
-            .stage_coordination_cost(self.scan_tasks.len() + self.probe_batches.len());
+        total += net.stage_coordination_cost(self.scan_tasks.len() + self.probe_batches.len());
 
         let scan = simulate(&self.scan_tasks, spec, Scheduler::StaticLocality).makespan;
 
         // Static inter-node assignment by locality, per-batch barriers
         // within a node.
-        let concurrent_batches =
-            (spec.cores_per_node / self.chunks_per_batch.max(1)).max(1) as f64;
+        let concurrent_batches = (spec.cores_per_node / self.chunks_per_batch.max(1)).max(1) as f64;
         let mut node_time = vec![0.0f64; num_nodes];
         for (i, b) in self.probe_batches.iter().enumerate() {
             let node = b.locality.unwrap_or(i % num_nodes) % num_nodes;
@@ -174,7 +172,11 @@ impl QueryMetrics {
     pub fn total_work(&self) -> f64 {
         self.build_secs
             + self.scan_tasks.iter().map(|t| t.cost).sum::<f64>()
-            + self.probe_batches.iter().map(ProbeBatch::total).sum::<f64>()
+            + self
+                .probe_batches
+                .iter()
+                .map(ProbeBatch::total)
+                .sum::<f64>()
     }
 }
 
@@ -385,8 +387,7 @@ impl Impalad {
         let mut pairs: Vec<(i64, i64)> = chunk_pairs.into_iter().flatten().collect();
         if plan.group_count {
             // Hash aggregation at the coordinator: (right id, count).
-            let mut counts: std::collections::HashMap<i64, i64> =
-                std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
             for &(_, rid) in &pairs {
                 *counts.entry(rid).or_insert(0) += 1;
             }
@@ -489,10 +490,7 @@ mod tests {
         // Points at y = 0.5 are 0.5 from road 0; y = 8.5 and 9.5 are
         // 0.5 from road 1. That's 10 + 20 = 30 matches.
         assert_eq!(result.pairs.len(), 30);
-        assert!(result
-            .pairs
-            .iter()
-            .all(|&(_, rid)| rid == 0 || rid == 1));
+        assert!(result.pairs.iter().all(|&(_, rid)| rid == 0 || rid == 1));
     }
 
     #[test]
@@ -575,18 +573,22 @@ mod tests {
         assert_eq!(result.pairs, vec![(0, 25), (1, 25), (2, 25), (3, 25)]);
         assert!(result.plan.explain().contains("AGGREGATE"));
         // Malformed aggregates are rejected.
-        assert!(d
-            .execute(
+        assert!(
+            d.execute(
                 "SELECT poly.id, COUNT(*) FROM pnt SPATIAL JOIN poly \
                  WHERE ST_WITHIN (pnt.geom, poly.geom)"
             )
-            .is_err(), "missing GROUP BY");
-        assert!(d
-            .execute(
+            .is_err(),
+            "missing GROUP BY"
+        );
+        assert!(
+            d.execute(
                 "SELECT pnt.id, COUNT(*) FROM pnt SPATIAL JOIN poly \
                  WHERE ST_WITHIN (pnt.geom, poly.geom) GROUP BY pnt.id"
             )
-            .is_err(), "grouping by the probe side is unsupported");
+            .is_err(),
+            "grouping by the probe side is unsupported"
+        );
     }
 
     #[test]

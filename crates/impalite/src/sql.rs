@@ -93,7 +93,9 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, ImpalaError> {
                 let start = i;
                 i += 1;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E')
                 {
                     i += 1;
@@ -107,9 +109,7 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, ImpalaError> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token::Ident(sql[start..i].to_string()));
@@ -378,18 +378,20 @@ mod tests {
             "SELECT a.id, b.id FROM a SPATIAL JOIN b WHERE ST_TOUCHES (a.geom, b.geom)"
         )
         .is_err());
-        assert!(parse_query(
-            "SELECT a.id, b.id FROM a SPATIAL JOIN b WHERE ST_WITHIN (b.geom, a.geom)"
-        )
-        .is_err(), "swapped predicate sides must be rejected");
+        assert!(
+            parse_query("SELECT a.id, b.id FROM a SPATIAL JOIN b WHERE ST_WITHIN (b.geom, a.geom)")
+                .is_err(),
+            "swapped predicate sides must be rejected"
+        );
         assert!(parse_query(
             "SELECT a.id, b.id FROM a SPATIAL JOIN b WHERE ST_NearestD (a.geom, b.geom, -5)"
         )
         .is_err());
-        assert!(parse_query(
-            "SELECT c.id, b.id FROM a SPATIAL JOIN b WHERE ST_WITHIN (a.geom, b.geom)"
-        )
-        .is_err(), "unknown projection alias");
+        assert!(
+            parse_query("SELECT c.id, b.id FROM a SPATIAL JOIN b WHERE ST_WITHIN (a.geom, b.geom)")
+                .is_err(),
+            "unknown projection alias"
+        );
         assert!(parse_query(
             "SELECT a.id, b.id FROM a SPATIAL JOIN b WHERE ST_WITHIN (a.geom, b.geom) extra"
         )

@@ -38,6 +38,8 @@ mod tests {
         assert!(DfsError::AlreadyExists("/b".into())
             .to_string()
             .contains("/b"));
-        assert!(DfsError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(DfsError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

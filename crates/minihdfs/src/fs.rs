@@ -3,9 +3,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use sync::RwLock;
 
+use crate::bytes::Bytes;
 use crate::error::DfsError;
 
 /// One stored block: payload plus placement.
@@ -43,11 +43,11 @@ pub struct BlockRef {
 
 impl BlockRef {
     /// Iterates over the records (lines) of this block.
+    ///
+    /// Blocks are always valid UTF-8 because `write_lines` produces
+    /// them; a corrupted block yields no records rather than panicking.
     pub fn lines(&self) -> impl Iterator<Item = &str> {
-        // Blocks are always valid UTF-8: they are produced by write_lines.
-        std::str::from_utf8(&self.data)
-            .expect("minihdfs blocks are UTF-8 by construction")
-            .lines()
+        std::str::from_utf8(&self.data).unwrap_or_default().lines()
     }
 
     /// Payload size in bytes.
@@ -105,10 +105,14 @@ impl MiniDfs {
             return Err(DfsError::InvalidConfig("need at least one datanode".into()));
         }
         if block_size == 0 {
-            return Err(DfsError::InvalidConfig("block size must be positive".into()));
+            return Err(DfsError::InvalidConfig(
+                "block size must be positive".into(),
+            ));
         }
         if replication == 0 {
-            return Err(DfsError::InvalidConfig("replication must be positive".into()));
+            return Err(DfsError::InvalidConfig(
+                "replication must be positive".into(),
+            ));
         }
         Ok(MiniDfs {
             inner: Arc::new(Inner {
@@ -152,19 +156,18 @@ impl MiniDfs {
         let mut total_bytes = 0usize;
         let mut total_records = 0usize;
 
-        let flush =
-            |buf: &mut String, records_in_buf: &mut usize, blocks: &mut Vec<Block>| {
-                if buf.is_empty() {
-                    return;
-                }
-                let replicas = self.place_block();
-                blocks.push(Block {
-                    data: Bytes::from(std::mem::take(buf)),
-                    replicas,
-                    num_records: *records_in_buf,
-                });
-                *records_in_buf = 0;
-            };
+        let flush = |buf: &mut String, records_in_buf: &mut usize, blocks: &mut Vec<Block>| {
+            if buf.is_empty() {
+                return;
+            }
+            let replicas = self.place_block();
+            blocks.push(Block {
+                data: Bytes::from(std::mem::take(buf)),
+                replicas,
+                num_records: *records_in_buf,
+            });
+            *records_in_buf = 0;
+        };
 
         for line in lines {
             let line = line.as_ref();
@@ -362,10 +365,7 @@ mod tests {
         dfs.delete("/f").unwrap();
         assert!(!dfs.exists("/f"));
         assert_eq!(dfs.delete("/f"), Err(DfsError::NotFound("/f".into())));
-        assert_eq!(
-            dfs.stat("/f").unwrap_err(),
-            DfsError::NotFound("/f".into())
-        );
+        assert_eq!(dfs.stat("/f").unwrap_err(), DfsError::NotFound("/f".into()));
     }
 
     #[test]

@@ -8,13 +8,15 @@
 //! placement so the execution engines can schedule for locality exactly
 //! like Hadoop's `FileInputFormat` does.
 //!
-//! Everything lives in memory ([`bytes::Bytes`] block payloads), which
-//! matches the in-memory orientation of Spark and Impala that the paper
-//! targets.
+//! Everything lives in memory ([`Bytes`] block payloads: shared,
+//! immutable, O(1) to clone), which matches the in-memory orientation
+//! of Spark and Impala that the paper targets.
 
+pub mod bytes;
 pub mod error;
 pub mod fs;
 
+pub use bytes::Bytes;
 pub use error::DfsError;
 pub use fs::{BlockRef, FileStat, MiniDfs};
 

@@ -11,8 +11,8 @@ const MIN_ENTRIES: usize = 6;
 
 #[derive(Debug, Clone)]
 enum NodeBody {
-    Leaf(Vec<u32>),     // entry ids
-    Inner(Vec<usize>),  // child node ids
+    Leaf(Vec<u32>),    // entry ids
+    Inner(Vec<usize>), // child node ids
 }
 
 #[derive(Debug, Clone)]
@@ -105,8 +105,12 @@ impl<T> DynamicRTree<T> {
                 .min_by(|&&a, &&b| {
                     let ea = enlargement(&self.nodes[a].env, &env);
                     let eb = enlargement(&self.nodes[b].env, &env);
-                    ea.total_cmp(&eb)
-                        .then_with(|| self.nodes[a].env.area().total_cmp(&self.nodes[b].env.area()))
+                    ea.total_cmp(&eb).then_with(|| {
+                        self.nodes[a]
+                            .env
+                            .area()
+                            .total_cmp(&self.nodes[b].env.area())
+                    })
                 })
                 .expect("inner nodes always have children")
         };
@@ -126,10 +130,9 @@ impl<T> DynamicRTree<T> {
     }
 
     fn split_leaf(&mut self, node_id: usize) -> (usize, usize) {
-        let NodeBody::Leaf(entries) = std::mem::replace(
-            &mut self.nodes[node_id].body,
-            NodeBody::Leaf(Vec::new()),
-        ) else {
+        let NodeBody::Leaf(entries) =
+            std::mem::replace(&mut self.nodes[node_id].body, NodeBody::Leaf(Vec::new()))
+        else {
             unreachable!()
         };
         let envs: Vec<Envelope> = entries.iter().map(|&e| self.items[e as usize].0).collect();
@@ -149,10 +152,9 @@ impl<T> DynamicRTree<T> {
     }
 
     fn split_inner(&mut self, node_id: usize) -> (usize, usize) {
-        let NodeBody::Inner(children) = std::mem::replace(
-            &mut self.nodes[node_id].body,
-            NodeBody::Inner(Vec::new()),
-        ) else {
+        let NodeBody::Inner(children) =
+            std::mem::replace(&mut self.nodes[node_id].body, NodeBody::Inner(Vec::new()))
+        else {
             unreachable!()
         };
         let envs: Vec<Envelope> = children.iter().map(|&c| self.nodes[c].env).collect();
@@ -208,7 +210,12 @@ impl<T> DynamicRTree<T> {
 
     /// Calls `visit` for every item whose envelope lies within `distance`
     /// of `p`.
-    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(&'a self, p: Point, distance: f64, mut visit: F) {
+    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(
+        &'a self,
+        p: Point,
+        distance: f64,
+        mut visit: F,
+    ) {
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
             let node = &self.nodes[id];

@@ -115,7 +115,12 @@ impl<T> GridIndex<T> {
     }
 
     /// Calls `visit` once per item within `distance` of `p` (by envelope).
-    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(&'a self, p: Point, distance: f64, visit: F) {
+    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(
+        &'a self,
+        p: Point,
+        distance: f64,
+        visit: F,
+    ) {
         let probe = Envelope::of_point(p).expanded_by(distance);
         self.for_each_intersecting(&probe, visit);
     }
@@ -175,12 +180,7 @@ mod tests {
     #[test]
     fn disjoint_query_returns_nothing() {
         let extent = Envelope::new(0.0, 0.0, 1.0, 1.0);
-        let grid = GridIndex::build(
-            extent,
-            4,
-            4,
-            vec![(Envelope::new(0.1, 0.1, 0.2, 0.2), 1u8)],
-        );
+        let grid = GridIndex::build(extent, 4, 4, vec![(Envelope::new(0.1, 0.1, 0.2, 0.2), 1u8)]);
         assert!(grid.query(&Envelope::new(5.0, 5.0, 6.0, 6.0)).is_empty());
         assert!(!grid.is_empty());
     }

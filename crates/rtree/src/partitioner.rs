@@ -68,8 +68,16 @@ impl FixedGridPartitioner {
                 cells.push(Envelope::new(
                     extent.min_x + c as f64 * w,
                     extent.min_y + r as f64 * h,
-                    if c == cols - 1 { extent.max_x } else { extent.min_x + (c + 1) as f64 * w },
-                    if r == rows - 1 { extent.max_y } else { extent.min_y + (r + 1) as f64 * h },
+                    if c == cols - 1 {
+                        extent.max_x
+                    } else {
+                        extent.min_x + (c + 1) as f64 * w
+                    },
+                    if r == rows - 1 {
+                        extent.max_y
+                    } else {
+                        extent.min_y + (r + 1) as f64 * h
+                    },
                 ));
             }
         }
@@ -139,7 +147,7 @@ impl StrPartitioner {
             // Midpoint between neighbouring sample points keeps every
             // sample strictly inside one slice.
             let b = (xs[i - 1].x + xs[i].x) * 0.5;
-            let last = *x_bounds.last().expect("non-empty");
+            let last = x_bounds.last().copied().unwrap_or(extent.min_x);
             x_bounds.push(b.max(last)); // monotone even with duplicates
         }
         x_bounds.push(extent.max_x);
@@ -165,7 +173,7 @@ impl StrPartitioner {
                     break;
                 }
                 let b = (ys[i - 1] + ys[i]) * 0.5;
-                let last = *yb.last().expect("non-empty");
+                let last = yb.last().copied().unwrap_or(extent.min_y);
                 yb.push(b.max(last));
             }
             yb.push(extent.max_y);

@@ -99,8 +99,16 @@ fn subdivide(
             .copied()
             .filter(|&i| {
                 let p = sample[i as usize];
-                let in_x = if qi % 2 == 0 { p.x >= q.min_x && p.x < q.max_x } else { p.x >= q.min_x && p.x <= q.max_x };
-                let in_y = if qi < 2 { p.y >= q.min_y && p.y < q.max_y } else { p.y >= q.min_y && p.y <= q.max_y };
+                let in_x = if qi % 2 == 0 {
+                    p.x >= q.min_x && p.x < q.max_x
+                } else {
+                    p.x >= q.min_x && p.x <= q.max_x
+                };
+                let in_y = if qi < 2 {
+                    p.y >= q.min_y && p.y < q.max_y
+                } else {
+                    p.y >= q.min_y && p.y <= q.max_y
+                };
                 in_x && in_y
             })
             .collect();

@@ -144,6 +144,12 @@ impl<T> RTree<T> {
         self.nodes[self.root as usize].env
     }
 
+    // This probe loop (and `for_each_within_distance` below) is the
+    // filter step of every join in the workspace: a fixed-size explicit
+    // stack, no heap traffic per probe. `query` (between the regions)
+    // is the allocating convenience wrapper.
+    // tidy:alloc-free:start
+
     /// Calls `visit` for every item whose envelope intersects `query`.
     pub fn for_each_intersecting<'a, F: FnMut(&'a T)>(&'a self, query: &Envelope, mut visit: F) {
         if self.entries.is_empty() {
@@ -176,6 +182,7 @@ impl<T> RTree<T> {
             }
         }
     }
+    // tidy:alloc-free:end
 
     /// Collects references to all items intersecting `query`.
     pub fn query(&self, query: &Envelope) -> Vec<&T> {
@@ -184,9 +191,15 @@ impl<T> RTree<T> {
         out
     }
 
+    // tidy:alloc-free:start
     /// Calls `visit` for every item whose envelope lies within `distance`
     /// of `p` — the filtering step of the `NearestD` joins.
-    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(&'a self, p: Point, distance: f64, mut visit: F) {
+    pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(
+        &'a self,
+        p: Point,
+        distance: f64,
+        mut visit: F,
+    ) {
         if self.entries.is_empty() {
             return;
         }
@@ -216,6 +229,7 @@ impl<T> RTree<T> {
             }
         }
     }
+    // tidy:alloc-free:end
 
     /// Best-first nearest-neighbour search with a caller-supplied exact
     /// distance. `exact(item)` must be ≥ the envelope lower bound (true
@@ -510,7 +524,12 @@ mod tests {
         for k in [1usize, 4, 10, 300] {
             let got: Vec<(usize, f64)> = tree
                 .nearest_k_by(p, k, |&id| {
-                    boxes.iter().find(|(_, i)| *i == id).unwrap().0.distance_to_point(p)
+                    boxes
+                        .iter()
+                        .find(|(_, i)| *i == id)
+                        .unwrap()
+                        .0
+                        .distance_to_point(p)
                 })
                 .into_iter()
                 .map(|(&id, d)| (id, d))
@@ -530,5 +549,4 @@ mod tests {
         }
         assert!(tree.nearest_k_by(p, 0, |_| 0.0).is_empty());
     }
-
 }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use cluster::{ClusterSpec, NetworkModel, Scheduler, TaskSpec};
 use minihdfs::{DfsError, MiniDfs};
-use parking_lot::Mutex;
+use sync::Mutex;
 
 use crate::broadcast::Broadcast;
 use crate::dataset::{Dataset, Partition};

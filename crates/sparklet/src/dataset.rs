@@ -178,9 +178,7 @@ impl<T: Send + Sync> Dataset<T> {
         T: Clone,
         F: Fn(&T) -> bool + Sync,
     {
-        self.map_partitions(name, |part| {
-            part.iter().filter(|t| f(t)).cloned().collect()
-        })
+        self.map_partitions(name, |part| part.iter().filter(|t| f(t)).cloned().collect())
     }
 
     /// Pairs every element with a globally unique, partition-contiguous
@@ -347,7 +345,12 @@ where
     /// Combines values per key — Spark's `reduceByKey`. Runs a
     /// map-side combine in each partition (the classic optimisation),
     /// then shuffles the partial aggregates and merges.
-    pub fn reduce_by_key<F>(&self, num_partitions: usize, bytes_per_pair: u64, f: F) -> Dataset<(K, V)>
+    pub fn reduce_by_key<F>(
+        &self,
+        num_partitions: usize,
+        bytes_per_pair: u64,
+        f: F,
+    ) -> Dataset<(K, V)>
     where
         F: Fn(&V, &V) -> V + Sync,
     {
@@ -365,9 +368,11 @@ where
             acc.into_iter().collect()
         });
         // Shuffle partial aggregates by key hash.
-        let shuffled = combined.partition_by(num_partitions.max(1), |(k, _)| fnv_hash(k), |_| {
-            bytes_per_pair
-        });
+        let shuffled = combined.partition_by(
+            num_partitions.max(1),
+            |(k, _)| fnv_hash(k),
+            |_| bytes_per_pair,
+        );
         // Final merge within each partition.
         shuffled.map_partitions("reduceByKey:merge", |part| {
             let mut acc: std::collections::HashMap<K, V> = std::collections::HashMap::new();
@@ -519,14 +524,12 @@ mod tests {
         expected.sort();
         assert_eq!(result, expected);
         // Shuffle bytes got recorded (partial aggregates only).
-        let shuffled: u64 = c
-            .job_report()
-            .stages
-            .iter()
-            .map(|s| s.shuffle_bytes)
-            .sum();
+        let shuffled: u64 = c.job_report().stages.iter().map(|s| s.shuffle_bytes).sum();
         assert!(shuffled > 0);
-        assert!(shuffled <= 7 * 6 * 16, "map-side combine bounds the shuffle");
+        assert!(
+            shuffled <= 7 * 6 * 16,
+            "map-side combine bounds the shuffle"
+        );
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Tidy fixture: one allocating call inside a marked region.
+//! Expected: exactly one `alloc-free` finding, on the `.to_vec()` line.
+
+pub fn hot_path(xs: &[f64]) -> Vec<f64> {
+    // tidy:alloc-free:start
+    let out = xs.to_vec();
+    // tidy:alloc-free:end
+    out
+}

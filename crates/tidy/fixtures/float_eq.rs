@@ -1,0 +1,7 @@
+//! Tidy fixture: exact float comparison outside the approved
+//! `geom::algorithms` files.
+//! Expected: exactly one `float-eq` finding.
+
+pub fn same_column(a: &Point, b: &Point) -> bool {
+    a.x == b.x
+}

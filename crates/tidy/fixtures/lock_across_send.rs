@@ -1,0 +1,7 @@
+//! Tidy fixture: a guard held across a blocking channel send.
+//! Expected: exactly one `lock-discipline` finding, on the send line.
+
+pub fn broken(ns: &Namespace, tx: &Sender<u64>) {
+    let files = ns.files.lock();
+    tx.send(files.len() as u64);
+}

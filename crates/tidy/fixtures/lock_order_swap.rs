@@ -1,0 +1,13 @@
+//! Tidy fixture: two locks taken against the declared order
+//! (`stages` is last in `lock_order.toml`, `files` is first).
+//! Expected: exactly one `lock-discipline` finding, on the second
+//! acquisition.
+
+pub fn swapped(ctx: &Context) -> usize {
+    let stages = ctx.stages.lock();
+    let files = ctx.namespace.files.lock();
+    let n = stages.len() + files.len();
+    drop(files);
+    drop(stages);
+    n
+}

@@ -1,0 +1,17 @@
+//! Tidy fixture: one panic site in non-test code.
+//! Expected: `panics::count_file` reports exactly one site, so the
+//! ratchet fails against an empty baseline.
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Panic sites inside test code never count toward the ratchet.
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(super::first(&[7]), 7);
+        Some(1).unwrap();
+    }
+}

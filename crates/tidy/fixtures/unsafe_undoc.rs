@@ -1,0 +1,7 @@
+//! Tidy fixture: an `unsafe` block missing its safety justification
+//! comment.
+//! Expected: exactly one `unsafe` finding.
+
+pub fn read(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,97 @@
+//! The panic-ratchet baseline file: a tiny TOML subset
+//! (`"path" = count` entries under a single section) read and written
+//! without any TOML dependency.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Relative path of the baseline file inside the workspace.
+pub const BASELINE_PATH: &str = "crates/tidy/baseline.toml";
+
+/// Parses `[panic-sites]` entries. Unknown sections and comments are
+/// ignored; malformed entry lines are returned as errors with their
+/// 1-based line number.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    let mut in_section = false;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_section = line == "[panic-sites]";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("baseline line {}: expected `\"path\" = count`", idx + 1))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {}: count is not an integer", idx + 1))?;
+        out.insert(key, value);
+    }
+    Ok(out)
+}
+
+/// Renders a baseline file, sorted by path, zero-count files omitted.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# Panic-freedom ratchet baseline: per-file counts of `.unwrap()` /\n\
+         # `.expect(` / `panic!` / `unreachable!` in library code outside\n\
+         # `#[cfg(test)]`. The tidy `panic-ratchet` check fails when a file\n\
+         # exceeds its entry, and also when it drops below (so cleanups are\n\
+         # locked in). Counts may only ever shrink; after removing panic\n\
+         # sites, regenerate with:\n\
+         #\n\
+         #   cargo run -p tidy -- --write-baseline\n\
+         \n[panic-sites]\n",
+    );
+    for (path, count) in counts {
+        if *count > 0 {
+            // Writing to a String cannot fail.
+            let _ = writeln!(out, "\"{path}\" = {count}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/lib.rs".to_string(), 3);
+        counts.insert("crates/b/src/x.rs".to_string(), 1);
+        counts.insert("crates/c/src/clean.rs".to_string(), 0);
+        let text = render(&counts);
+        let back = parse(&text).expect("parse");
+        assert_eq!(back.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(back.get("crates/b/src/x.rs"), Some(&1));
+        // Zero-count entries are dropped on render.
+        assert_eq!(back.get("crates/c/src/clean.rs"), None);
+    }
+
+    #[test]
+    fn comments_and_unknown_sections_ignored() {
+        let text = "# comment\n[other]\n\"x\" = 9\n[panic-sites]\n\"y\" = 2\n";
+        let parsed = parse(text).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.get("y"), Some(&2));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_line_number() {
+        let err = parse("[panic-sites]\nnot an entry\n").expect_err("must fail");
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse("[panic-sites]\n\"x\" = lots\n").expect_err("must fail");
+        assert!(err.contains("not an integer"), "{err}");
+    }
+}

@@ -1,0 +1,153 @@
+//! The dependency-allowlist / hermeticity check.
+//!
+//! The build must complete offline: every dependency of every crate
+//! must resolve to an in-tree path crate. Member manifests may only
+//! inherit (`foo.workspace = true`) or use explicit `path =` entries;
+//! the root `[workspace.dependencies]` table may only contain `path =`
+//! entries. Anything with a registry version, a `git =` source or a
+//! bare version string fails.
+
+use crate::{Finding, Tree};
+
+pub const NAME: &str = "deps";
+
+/// Checks every manifest in the tree.
+pub fn check(tree: &Tree) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, text) in &tree.manifests {
+        findings.extend(check_manifest(rel, text));
+    }
+    findings
+}
+
+/// Checks one Cargo.toml.
+pub fn check_manifest(rel: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = strip_toml_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        if let Some(msg) = entry_violation(&section, &line) {
+            findings.push(Finding {
+                check: NAME,
+                file: rel.to_string(),
+                line: idx + 1,
+                message: msg,
+            });
+        }
+    }
+    findings
+}
+
+/// `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]` and target-specific variants.
+fn is_dependency_section(section: &str) -> bool {
+    section.ends_with("dependencies")
+}
+
+/// Returns a violation message for a dependency entry line, or `None`
+/// when the entry is hermetic.
+fn entry_violation(section: &str, line: &str) -> Option<String> {
+    let (name, spec) = line.split_once('=')?;
+    let name = name.trim();
+    let spec = spec.trim();
+    let dep_name = name.split('.').next().unwrap_or(name);
+    if section == "workspace.dependencies" {
+        // The root table defines sources: in-tree paths only.
+        if spec.contains("path") && !spec.contains("git") && !spec.contains("version") {
+            return None;
+        }
+        return Some(format!(
+            "workspace dependency `{dep_name}` is not an in-tree path crate — the build \
+             must resolve offline"
+        ));
+    }
+    // Member manifests: inherit from the workspace or use a path.
+    if name.ends_with(".workspace") && spec == "true" {
+        return None;
+    }
+    if spec.contains("workspace = true") || spec.contains("path") {
+        if spec.contains("version") || spec.contains("git") {
+            return Some(format!(
+                "dependency `{dep_name}` mixes a registry/git source with its in-tree \
+                 spec — remove the external source"
+            ));
+        }
+        return None;
+    }
+    Some(format!(
+        "non-workspace dependency `{dep_name}` — every dependency must be an in-tree \
+         crate (`{dep_name}.workspace = true` or a path entry) so the build resolves \
+         offline"
+    ))
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // Good enough for manifests: none of ours put `#` inside strings.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_inherited_deps_pass() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\ngeom.workspace = true\nrtree = { workspace = true }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_dep_is_flagged() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n";
+        let f = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn git_dep_is_flagged() {
+        let toml = "[dev-dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(check_manifest("crates/x/Cargo.toml", toml).len(), 1);
+    }
+
+    #[test]
+    fn featureful_registry_dep_is_flagged() {
+        let toml = "[dependencies]\ntokio = { version = \"1\", features = [\"full\"] }\n";
+        assert_eq!(check_manifest("crates/x/Cargo.toml", toml).len(), 1);
+    }
+
+    #[test]
+    fn root_workspace_table_must_be_paths() {
+        let ok = "[workspace.dependencies]\ngeom = { path = \"crates/geom\" }\n";
+        assert!(check_manifest("Cargo.toml", ok).is_empty());
+        let bad = "[workspace.dependencies]\nrand = \"0.9\"\n";
+        assert_eq!(check_manifest("Cargo.toml", bad).len(), 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml =
+            "[profile.release]\nlto = \"fat\"\n[workspace.lints.rust]\nunsafe_code = \"warn\"\n";
+        assert!(check_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let toml = "[dependencies]\n# old: serde = \"1.0\"\ngeom.workspace = true # in-tree\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+}

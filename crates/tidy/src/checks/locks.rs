@@ -1,0 +1,284 @@
+//! The lock-discipline check for the concurrency crates (`cluster`,
+//! `sparklet`, `minihdfs`).
+//!
+//! Two rules, both scoped to named guards (`let g = x.lock()` /
+//! `.read()` / `.write()`):
+//!
+//! 1. **No guard held across a blocking call** — `send`/`recv`/`join`
+//!    while a guard is live stalls every other thread contending for
+//!    that lock (and with the std poisoning-recovery wrappers in
+//!    `crates/sync`, turns a slow task into a cluster-wide convoy).
+//! 2. **Declared acquisition order** — when two guards are live at
+//!    once, the locks must be acquired in the order declared in
+//!    `crates/tidy/lock_order.toml`; locks absent from the manifest
+//!    may not be paired at all.
+//!
+//! The analysis is a brace-depth scan over the code view: a guard dies
+//! when its enclosing block closes or it is explicitly `drop`ped.
+
+use crate::lexer::SourceFile;
+use crate::{Finding, Tree};
+
+pub const NAME: &str = "lock-discipline";
+
+/// Relative path of the declared acquisition order.
+pub const ORDER_PATH: &str = "crates/tidy/lock_order.toml";
+
+/// Crates the check applies to.
+const SCOPES: [&str; 3] = [
+    "crates/cluster/src/",
+    "crates/sparklet/src/",
+    "crates/minihdfs/src/",
+];
+
+const ACQUIRE: [&str; 3] = [".lock()", ".read()", ".write()"];
+const BLOCKING: [&str; 4] = [".send(", ".recv()", ".recv_timeout(", ".join()"];
+
+/// Parses `order = ["a", "b", …]` from the manifest text.
+pub fn parse_order(text: &str) -> Result<Vec<String>, String> {
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("order") {
+            let rest = rest.trim_start().strip_prefix('=').unwrap_or(rest).trim();
+            if !rest.starts_with('[') || !rest.ends_with(']') {
+                return Err("lock order must be a single-line `order = [..]` list".to_string());
+            }
+            return Ok(rest[1..rest.len() - 1]
+                .split(',')
+                .map(|s| s.trim().trim_matches('"').to_string())
+                .filter(|s| !s.is_empty())
+                .collect());
+        }
+    }
+    Err("lock_order.toml has no `order = [..]` entry".to_string())
+}
+
+/// A live guard.
+struct Guard {
+    var: String,
+    lock: String,
+    depth: i32,
+    line: usize,
+}
+
+/// Checks the in-scope crates against the declared order.
+pub fn check(tree: &Tree) -> Vec<Finding> {
+    let order_text = match std::fs::read_to_string(tree.root.join(ORDER_PATH)) {
+        Ok(text) => text,
+        Err(e) => {
+            return vec![finding(
+                ORDER_PATH,
+                0,
+                format!("cannot read lock order manifest: {e}"),
+            )]
+        }
+    };
+    let order = match parse_order(&order_text) {
+        Ok(order) => order,
+        Err(msg) => return vec![finding(ORDER_PATH, 0, msg)],
+    };
+    let mut findings = Vec::new();
+    for entry in &tree.sources {
+        if SCOPES.iter().any(|s| entry.rel.starts_with(s)) {
+            findings.extend(check_file(&entry.rel, &entry.source, &order));
+        }
+    }
+    findings
+}
+
+/// Checks one file. `order` is the declared acquisition order.
+pub fn check_file(rel: &str, source: &SourceFile, order: &[String]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    for (idx, line) in source.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+
+        // Explicit drops kill guards by name.
+        for guard_idx in (0..guards.len()).rev() {
+            if code.contains(&format!("drop({})", guards[guard_idx].var)) {
+                guards.remove(guard_idx);
+            }
+        }
+
+        // Blocking calls while any guard is live.
+        if !guards.is_empty() {
+            for token in BLOCKING {
+                if code.contains(token) {
+                    let g = &guards[guards.len() - 1];
+                    findings.push(finding(
+                        rel,
+                        lineno,
+                        format!(
+                            "blocking call `{token}` while guard `{}` (lock `{}`, acquired \
+                             line {}) is held — release the lock first",
+                            g.var, g.lock, g.line
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // New named guard?
+        if let Some((var, lock)) = named_acquisition(code) {
+            for held in &guards {
+                match (position(order, &held.lock), position(order, &lock)) {
+                    (Some(a), Some(b)) if b <= a => findings.push(finding(
+                        rel,
+                        lineno,
+                        format!(
+                            "lock `{lock}` acquired while holding `{}` violates the declared \
+                             order in {ORDER_PATH}",
+                            held.lock
+                        ),
+                    )),
+                    (Some(_), Some(_)) => {}
+                    _ => findings.push(finding(
+                        rel,
+                        lineno,
+                        format!(
+                            "locks `{}` and `{lock}` held together but at least one is not \
+                             declared in {ORDER_PATH}",
+                            held.lock
+                        ),
+                    )),
+                }
+            }
+            guards.push(Guard {
+                var,
+                lock,
+                depth,
+                line: lineno,
+            });
+        }
+
+        // Track block structure; guards die with their block.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+fn position(order: &[String], name: &str) -> Option<usize> {
+    order.iter().position(|o| o == name)
+}
+
+/// Detects `let [mut] <var> = <chain>.lock()/read()/write()` and
+/// returns `(guard_var, lock_name)`.
+fn named_acquisition(code: &str) -> Option<(String, String)> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let var: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if var.is_empty() {
+        return None;
+    }
+    let acquire_pos = ACQUIRE.iter().find_map(|t| code.find(t))?;
+    let lock = last_path_segment(&code[..acquire_pos]);
+    Some((var, lock))
+}
+
+/// The identifier immediately before the acquisition call — the lock's
+/// name (`self.inner.files.read()` → `files`).
+fn last_path_segment(prefix: &str) -> String {
+    let name: String = prefix
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    name.chars().rev().collect()
+}
+
+fn finding(rel: &str, line: usize, message: String) -> Finding {
+    Finding {
+        check: NAME,
+        file: rel.to_string(),
+        line,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn order() -> Vec<String> {
+        vec!["files".to_string(), "stages".to_string()]
+    }
+
+    #[test]
+    fn guard_across_send_is_flagged() {
+        let src = "fn f(&self) {\n    let g = self.files.lock();\n    self.tx.send(1);\n}\n";
+        let f = check_file("x.rs", &lex(src), &order());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("`g`"));
+    }
+
+    #[test]
+    fn guard_released_by_block_end_is_fine() {
+        let src = "fn f(&self) {\n    {\n        let g = self.files.lock();\n        g.push(1);\n    }\n    self.tx.send(1);\n}\n";
+        assert!(check_file("x.rs", &lex(src), &order()).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_guard() {
+        let src = "fn f(&self) {\n    let g = self.files.lock();\n    drop(g);\n    self.tx.send(1);\n}\n";
+        assert!(check_file("x.rs", &lex(src), &order()).is_empty());
+    }
+
+    #[test]
+    fn temporary_guards_are_not_tracked() {
+        let src = "fn f(&self) {\n    self.files.lock().push(1);\n    self.tx.send(1);\n}\n";
+        assert!(check_file("x.rs", &lex(src), &order()).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_acquisition_is_flagged() {
+        let src =
+            "fn f(&self) {\n    let s = self.stages.lock();\n    let f = self.files.read();\n}\n";
+        let f = check_file("x.rs", &lex(src), &order());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("declared order"));
+    }
+
+    #[test]
+    fn in_order_acquisition_passes() {
+        let src =
+            "fn f(&self) {\n    let f = self.files.read();\n    let s = self.stages.lock();\n}\n";
+        assert!(check_file("x.rs", &lex(src), &order()).is_empty());
+    }
+
+    #[test]
+    fn undeclared_lock_pairing_is_flagged() {
+        let src =
+            "fn f(&self) {\n    let f = self.files.read();\n    let q = self.queue.lock();\n}\n";
+        let f = check_file("x.rs", &lex(src), &order());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not"));
+        assert!(f[0].message.contains("declared"));
+    }
+
+    #[test]
+    fn order_parser_reads_list() {
+        let parsed = parse_order("# comment\norder = [\"a\", \"b\"]\n").expect("parse");
+        assert_eq!(parsed, vec!["a".to_string(), "b".to_string()]);
+        assert!(parse_order("nothing here\n").is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! The individual tidy checks. Each module exposes a `NAME` constant,
+//! a whole-tree `check(&Tree)` entry point and (for the per-file
+//! checks) a `check_file` function the fixture tests drive directly.
+
+pub mod alloc_free;
+pub mod deps;
+pub mod float_eq;
+pub mod locks;
+pub mod panics;
+pub mod unsafe_audit;

@@ -1,0 +1,177 @@
+//! The panic-freedom ratchet.
+//!
+//! Library code (everything under `crates/<name>/src/`) should return
+//! `Result` instead of panicking: a panic inside a sparklet task
+//! poisons locks and takes down whole simulated stages. Existing sites
+//! are grandfathered in `crates/tidy/baseline.toml`; the check fails
+//! when a file gains a site *or* loses one without the baseline being
+//! regenerated, so the count only ever ratchets down.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::SourceFile;
+use crate::{baseline, Finding, Tree};
+
+pub const NAME: &str = "panic-ratchet";
+
+/// Panicking constructs counted by the ratchet.
+const PANIC_TOKENS: [&str; 4] = [".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// Counts panic sites in one file's non-test code.
+pub fn count_file(source: &SourceFile) -> usize {
+    source
+        .lines
+        .iter()
+        .filter(|l| !l.in_test)
+        .map(|l| {
+            PANIC_TOKENS
+                .iter()
+                .map(|t| l.code.matches(t).count())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// Current per-file counts over all library sources (zero-count files
+/// included so the ratchet can detect stale baseline entries).
+pub fn current_counts(tree: &Tree) -> BTreeMap<String, usize> {
+    tree.library_sources()
+        .map(|s| (s.rel.clone(), count_file(&s.source)))
+        .collect()
+}
+
+/// Compares current counts against the committed baseline.
+pub fn check(tree: &Tree) -> Vec<Finding> {
+    let baseline_text = match std::fs::read_to_string(tree.root.join(baseline::BASELINE_PATH)) {
+        Ok(text) => text,
+        Err(e) => {
+            return vec![finding(
+                baseline::BASELINE_PATH,
+                0,
+                format!("cannot read baseline: {e} (regenerate with `cargo run -p tidy -- --write-baseline`)"),
+            )]
+        }
+    };
+    let allowed = match baseline::parse(&baseline_text) {
+        Ok(map) => map,
+        Err(msg) => return vec![finding(baseline::BASELINE_PATH, 0, msg)],
+    };
+    compare(&current_counts(tree), &allowed)
+}
+
+/// The ratchet comparison, separated out for tests.
+pub fn compare(
+    current: &BTreeMap<String, usize>,
+    allowed: &BTreeMap<String, usize>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, &count) in current {
+        let cap = allowed.get(path).copied().unwrap_or(0);
+        if count > cap {
+            findings.push(finding(
+                path,
+                0,
+                format!(
+                    "{count} panic sites but the baseline allows {cap} — remove the new \
+                     unwrap/expect/panic instead of raising the baseline"
+                ),
+            ));
+        } else if count < cap {
+            findings.push(finding(
+                path,
+                0,
+                format!(
+                    "{count} panic sites, down from {cap} — lock the cleanup in with \
+                     `cargo run -p tidy -- --write-baseline`"
+                ),
+            ));
+        }
+    }
+    for path in allowed.keys() {
+        if !current.contains_key(path) {
+            findings.push(finding(
+                path,
+                0,
+                "baseline entry for a file that no longer exists — regenerate with \
+                 `cargo run -p tidy -- --write-baseline`"
+                    .to_string(),
+            ));
+        }
+    }
+    findings
+}
+
+fn finding(rel: &str, line: usize, message: String) -> Finding {
+    Finding {
+        check: NAME,
+        file: rel.to_string(),
+        line,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn counts_skip_tests_comments_and_strings() {
+        let src = r#"
+fn lib(x: Option<u32>) -> u32 {
+    // .unwrap() in a comment does not count
+    let s = "panic! in a string does not count";
+    let _ = s;
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        Some(1).unwrap();
+        panic!("boom");
+    }
+}
+"#;
+        assert_eq!(count_file(&lex(src)), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_count() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\n";
+        assert_eq!(count_file(&lex(src)), 0);
+    }
+
+    #[test]
+    fn ratchet_flags_growth_shrink_and_stale_entries() {
+        let mut current = BTreeMap::new();
+        current.insert("a.rs".to_string(), 3);
+        current.insert("b.rs".to_string(), 1);
+        current.insert("c.rs".to_string(), 0);
+        let mut allowed = BTreeMap::new();
+        allowed.insert("a.rs".to_string(), 2); // grew
+        allowed.insert("b.rs".to_string(), 2); // shrank
+        allowed.insert("gone.rs".to_string(), 1); // stale
+        let findings = compare(&current, &allowed);
+        assert_eq!(findings.len(), 3);
+        assert!(findings
+            .iter()
+            .any(|f| f.file == "a.rs" && f.message.contains("allows 2")));
+        assert!(findings
+            .iter()
+            .any(|f| f.file == "b.rs" && f.message.contains("down from")));
+        assert!(findings
+            .iter()
+            .any(|f| f.file == "gone.rs" && f.message.contains("no longer exists")));
+    }
+
+    #[test]
+    fn matching_counts_pass() {
+        let mut current = BTreeMap::new();
+        current.insert("a.rs".to_string(), 2);
+        current.insert("clean.rs".to_string(), 0);
+        let mut allowed = BTreeMap::new();
+        allowed.insert("a.rs".to_string(), 2);
+        assert!(compare(&current, &allowed).is_empty());
+    }
+}

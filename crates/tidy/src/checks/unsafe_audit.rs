@@ -1,0 +1,107 @@
+//! The unsafe-audit check: every `unsafe` token in code must carry a
+//! `// SAFETY:` comment on the same line or within the three lines
+//! above it, so each block documents the invariant it relies on.
+//! (The workspace otherwise warns on `unsafe_code` via
+//! `[workspace.lints]`; this check guards the justification, not the
+//! existence.)
+
+use crate::lexer::SourceFile;
+use crate::{Finding, Tree};
+
+pub const NAME: &str = "unsafe";
+
+/// How many lines above an `unsafe` token the SAFETY comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// Checks every source in the tree.
+pub fn check(tree: &Tree) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for entry in &tree.sources {
+        findings.extend(check_file(&entry.rel, &entry.source));
+    }
+    findings
+}
+
+/// Checks one file.
+pub fn check_file(rel: &str, source: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in source.lines.iter().enumerate() {
+        if !has_unsafe_token(&line.code) {
+            continue;
+        }
+        let window_start = idx.saturating_sub(SAFETY_WINDOW);
+        let documented = source.lines[window_start..=idx]
+            .iter()
+            .any(|l| l.raw.contains("SAFETY:"));
+        if !documented {
+            findings.push(Finding {
+                check: NAME,
+                file: rel.to_string(),
+                line: idx + 1,
+                message: "`unsafe` without a `// SAFETY:` comment documenting the invariant"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// True when the code view contains `unsafe` as a standalone token
+/// (not `unsafe_code` or an identifier suffix).
+fn has_unsafe_token(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = rest[pos + "unsafe".len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let src = "// SAFETY: the index was bounds-checked above.\nlet v = unsafe { slice.get_unchecked(i) };\n";
+        assert!(check_file("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let f = check_file("x.rs", &lex("let v = unsafe { *ptr };\n"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        let src = "// SAFETY: stale\n\n\n\n\nlet v = unsafe { *ptr };\n";
+        assert_eq!(check_file("x.rs", &lex(src)).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let src = "// this mentions unsafe in prose\nlet s = \"unsafe\";\n";
+        assert!(check_file("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn identifier_containing_unsafe_is_ignored() {
+        let src = "#![deny(unsafe_code)]\nlet not_unsafe_at_all = 1;\n";
+        let f = check_file("x.rs", &lex(src));
+        // `unsafe_code` has a trailing `_`, `not_unsafe_at_all` has a
+        // leading one — neither is the keyword.
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,356 @@
+//! Comment- and string-aware line lexer.
+//!
+//! Every tidy check is textual, so the first thing that happens to a
+//! source file is a pass that blanks out everything that is not code:
+//! line comments, (nested) block comments, string literals, raw string
+//! literals and character literals are replaced with spaces,
+//! preserving line/column positions. Checks then match tokens against
+//! the *code view* and never trip over `".unwrap()"` appearing inside
+//! a string or a doc comment.
+//!
+//! The lexer also computes, per line, whether the line sits inside a
+//! `#[cfg(test)]`-gated item — the panic ratchet and float-equality
+//! checks skip those regions.
+
+/// One lexed source line.
+#[derive(Debug)]
+pub struct Line {
+    /// The original text (checks read marker comments from here).
+    pub raw: String,
+    /// The text with comments and literal contents blanked to spaces;
+    /// same length and column positions as `raw`.
+    pub code: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A whole lexed file.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    /// Nested block comment with depth.
+    Block(u32),
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u32),
+}
+
+/// Lexes a file into per-line raw/code views.
+pub fn lex(source: &str) -> SourceFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw_line in source.lines() {
+        let (code, next) = blank_non_code(raw_line, state);
+        state = next;
+        lines.push(Line {
+            raw: raw_line.to_string(),
+            code,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    SourceFile { lines }
+}
+
+/// Processes one line in `state`, returning its code view and the
+/// state the next line starts in.
+fn blank_non_code(line: &str, mut state: State) -> (String, State) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    // Line comment: blank the rest of the line.
+                    for _ in i..chars.len() {
+                        out.push(' ');
+                    }
+                    i = chars.len();
+                }
+                '/' if next == Some('*') => {
+                    state = State::Block(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) && !prev_is_ident(&chars, i) => {
+                    // Possible raw string: r" or r#…#".
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime. `'a'` / `'\n'` are
+                    // literals; `'a` followed by non-quote is a
+                    // lifetime and stays in the code view.
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        for _ in 0..len {
+                            out.push(' ');
+                        }
+                        i += len;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Escape: blank it and whatever it escapes (a
+                    // trailing backslash continues the string onto the
+                    // next line, which `lines()` handles naturally).
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    state = State::Code;
+                    for _ in 0..=hashes as usize {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    (out, state)
+}
+
+/// True when `chars[i]` is preceded by an identifier character (so the
+/// `r` in `for r in …` or `attr"` in a macro never starts a raw
+/// string).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns its
+/// total length; `None` for lifetimes.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote.
+            let mut j = i + 2;
+            // Skip the escaped character (or `u{…}` sequence).
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            (j < chars.len()).then(|| j - i + 1)
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line inside a `#[cfg(test)]` item by tracking the brace
+/// depth of the block that follows the attribute.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut pending = false; // saw the attribute, waiting for `{`
+    let mut depth: u32 = 0; // brace depth inside the test item
+    for line in lines.iter_mut() {
+        let mut attr_pos = None;
+        if depth == 0 && !pending {
+            attr_pos = line.code.find("#[cfg(test)]");
+            if attr_pos.is_some() {
+                pending = true;
+            }
+        }
+        let mut in_this_line = depth > 0 || pending;
+        for (pos, c) in line.code.char_indices() {
+            if let Some(a) = attr_pos {
+                if pos < a {
+                    continue;
+                }
+            }
+            if pending {
+                if c == '{' {
+                    pending = false;
+                    depth = 1;
+                    in_this_line = true;
+                }
+            } else if depth > 0 {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            in_this_line = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        line.in_test = in_this_line || depth > 0 || pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let f = lex("let x = 1; // .unwrap() here\n");
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].raw.contains("unwrap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = lex(r#"let s = "call .unwrap() now"; s.len();"#);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("s.len()"));
+        // Quotes survive so columns line up.
+        assert_eq!(f.lines[0].code.len(), f.lines[0].raw.len());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let f = lex(r#"let s = "a \" b .unwrap()"; x();"#);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("x();"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let src = "let s = r#\"first .unwrap()\nsecond panic!( \"# ; tail();";
+        let f = lex(src);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(!f.lines[1].code.contains("panic"));
+        assert!(f.lines[1].code.contains("tail();"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner .unwrap() */ still comment */ b();";
+        let f = lex(src);
+        assert!(f.lines[0].code.contains("a();"));
+        assert!(f.lines[0].code.contains("b();"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn multiline_block_comment_state_carries() {
+        let src = "a(); /* comment\n.unwrap()\n*/ b();";
+        let f = lex(src);
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("b();"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_stay() {
+        let f = lex("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }");
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains('"'));
+        assert!(!f.lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn identifier_r_does_not_start_raw_string() {
+        let f = lex(r#"for r in list { r.push(1); } let s = r"raw"; t();"#);
+        assert!(f.lines[0].code.contains("r.push(1);"));
+        assert!(!f.lines[0].code.contains("raw"));
+        assert!(f.lines[0].code.contains("t();"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_in_comment_is_ignored() {
+        let src = "// #[cfg(test)]\nfn lib() { x(); }";
+        let f = lex(src);
+        assert!(!f.lines[1].in_test);
+    }
+
+    #[test]
+    fn doc_comments_are_blanked() {
+        let f = lex("/// Panics: calls panic!() on bad input.\nfn f() {}");
+        assert!(!f.lines[0].code.contains("panic"));
+    }
+}

@@ -1,0 +1,235 @@
+//! # tidy — the workspace's in-tree static-analysis suite
+//!
+//! Modeled on rustc's `tidy`: a zero-dependency binary (and library,
+//! so `tests/tidy.rs` can run it as a tier-1 workspace test) that
+//! enforces repo-wide invariants ordinary rustc lints cannot express:
+//!
+//! | check         | invariant                                                  |
+//! |---------------|------------------------------------------------------------|
+//! | `alloc-free`  | no allocation between `tidy:alloc-free` markers            |
+//! | `panic-ratchet` | panic sites in library code only ever decrease           |
+//! | `lock-discipline` | no guard held across blocking calls; declared order    |
+//! | `float-eq`    | no `==`/`!=` on coordinate floats outside approved files   |
+//! | `deps`        | every dependency resolves in-tree (offline build)          |
+//! | `unsafe`      | every `unsafe` carries a `// SAFETY:` comment              |
+//!
+//! All checks run on the comment/string-aware code view produced by
+//! [`lexer`], so tokens inside strings and comments never count.
+//!
+//! Run as `cargo run -p tidy`; regenerate the panic baseline after a
+//! cleanup with `cargo run -p tidy -- --write-baseline`.
+
+pub mod baseline;
+pub mod checks;
+pub mod lexer;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One violation found by a check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Check name (stable identifier for machine consumption).
+    pub check: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tidy: {}: {}:{}: {}",
+            self.check, self.file, self.line, self.message
+        )
+    }
+}
+
+/// A lexed source file plus its workspace-relative path.
+pub struct SourceEntry {
+    pub rel: String,
+    pub source: lexer::SourceFile,
+}
+
+/// The loaded workspace: lexed Rust sources and raw manifests.
+pub struct Tree {
+    pub root: PathBuf,
+    pub sources: Vec<SourceEntry>,
+    /// `(rel_path, contents)` of every Cargo.toml.
+    pub manifests: Vec<(String, String)>,
+}
+
+impl Tree {
+    /// Sources whose path starts with `prefix` (e.g. `crates/geom/src/`).
+    pub fn sources_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceEntry> {
+        self.sources
+            .iter()
+            .filter(move |s| s.rel.starts_with(prefix))
+    }
+
+    /// Library sources: everything under a `crates/<name>/src/` dir.
+    pub fn library_sources(&self) -> impl Iterator<Item = &SourceEntry> {
+        self.sources.iter().filter(|s| {
+            let mut parts = s.rel.split('/');
+            parts.next() == Some("crates") && parts.nth(1) == Some("src")
+        })
+    }
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn workspace_root_from(start: &Path) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+/// [`workspace_root_from`] starting at the current directory; at test
+/// time the compile-time manifest dir is the fallback.
+pub fn workspace_root() -> Option<PathBuf> {
+    std::env::current_dir()
+        .ok()
+        .and_then(|d| workspace_root_from(&d))
+        .or_else(|| workspace_root_from(Path::new(env!("CARGO_MANIFEST_DIR"))))
+}
+
+/// Directories scanned for Rust sources, relative to the root.
+/// `crates/tidy/fixtures` is deliberately absent: fixtures contain
+/// seeded violations exercised by tests only.
+const SOURCE_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Loads and lexes the workspace.
+///
+/// # Errors
+/// Propagates I/O failures from directory walking or file reads.
+pub fn load_tree(root: &Path) -> io::Result<Tree> {
+    let mut sources = Vec::new();
+    let mut manifests = Vec::new();
+    if let Ok(text) = fs::read_to_string(root.join("Cargo.toml")) {
+        manifests.push(("Cargo.toml".to_string(), text));
+    }
+    for sub in SOURCE_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(root, &dir, &mut sources, &mut manifests)?;
+        }
+    }
+    sources.sort_by(|a, b| a.rel.cmp(&b.rel));
+    manifests.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(Tree {
+        root: root.to_path_buf(),
+        sources,
+        manifests,
+    })
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    sources: &mut Vec<SourceEntry>,
+    manifests: &mut Vec<(String, String)>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, sources, manifests)?;
+        } else if name == "Cargo.toml" {
+            manifests.push((rel_of(root, &path), fs::read_to_string(&path)?));
+        } else if name.ends_with(".rs") {
+            let text = fs::read_to_string(&path)?;
+            sources.push(SourceEntry {
+                rel: rel_of(root, &path),
+                source: lexer::lex(&text),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// The registered checks, in report order.
+pub fn check_names() -> [&'static str; 6] {
+    [
+        checks::alloc_free::NAME,
+        checks::panics::NAME,
+        checks::locks::NAME,
+        checks::float_eq::NAME,
+        checks::deps::NAME,
+        checks::unsafe_audit::NAME,
+    ]
+}
+
+/// Runs every check, returning all findings grouped in check order.
+pub fn run_all(tree: &Tree) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(checks::alloc_free::check(tree));
+    findings.extend(checks::panics::check(tree));
+    findings.extend(checks::locks::check(tree));
+    findings.extend(checks::float_eq::check(tree));
+    findings.extend(checks::deps::check(tree));
+    findings.extend(checks::unsafe_audit::check(tree));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_manifest_dir() {
+        let root = workspace_root().expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/tidy").is_dir());
+    }
+
+    #[test]
+    fn load_tree_sees_known_files_and_skips_fixtures() {
+        let root = workspace_root().expect("workspace root");
+        let tree = load_tree(&root).expect("load");
+        assert!(tree
+            .sources
+            .iter()
+            .any(|s| s.rel == "crates/geom/src/engine.rs"));
+        assert!(tree.sources.iter().any(|s| s.rel == "tests/props.rs"));
+        assert!(!tree.sources.iter().any(|s| s.rel.contains("fixtures")));
+        assert!(tree.manifests.iter().any(|(p, _)| p == "Cargo.toml"));
+        assert!(tree
+            .manifests
+            .iter()
+            .any(|(p, _)| p == "crates/geom/Cargo.toml"));
+    }
+
+    #[test]
+    fn library_sources_excludes_workspace_tests() {
+        let root = workspace_root().expect("workspace root");
+        let tree = load_tree(&root).expect("load");
+        let libs: Vec<&str> = tree.library_sources().map(|s| s.rel.as_str()).collect();
+        assert!(libs.contains(&"crates/geom/src/engine.rs"));
+        assert!(!libs.iter().any(|p| p.starts_with("tests/")));
+        assert!(!libs.iter().any(|p| p.starts_with("examples/")));
+        assert!(!libs.iter().any(|p| p.contains("/benches/")));
+    }
+}

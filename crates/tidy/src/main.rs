@@ -1,0 +1,88 @@
+//! The `tidy` binary: runs every check and prints one machine-readable
+//! line per check plus one line per finding.
+//!
+//! ```text
+//! tidy: <check>: <file>:<line>: <message>   # one per finding
+//! tidy: check <check>: ok|FAIL (<n> findings)
+//! tidy: result: ok|FAIL (<n> findings)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+//!
+//! `--write-baseline` regenerates the panic-ratchet baseline from the
+//! current tree (use after burning down panic sites); `--root <dir>`
+//! overrides workspace-root discovery.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut write_baseline = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("tidy: error: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: tidy [--root <dir>] [--write-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tidy: error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root_override.or_else(tidy::workspace_root) else {
+        eprintln!("tidy: error: workspace root not found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    let tree = match tidy::load_tree(&root) {
+        Ok(tree) => tree,
+        Err(e) => {
+            eprintln!("tidy: error: failed to load {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let counts = tidy::checks::panics::current_counts(&tree);
+        let total: usize = counts.values().sum();
+        let path = root.join(tidy::baseline::BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, tidy::baseline::render(&counts)) {
+            eprintln!("tidy: error: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "tidy: baseline: wrote {} ({total} panic sites across {} files)",
+            tidy::baseline::BASELINE_PATH,
+            counts.values().filter(|&&c| c > 0).count(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = tidy::run_all(&tree);
+    for f in &findings {
+        println!("{f}");
+    }
+    for name in tidy::check_names() {
+        let n = findings.iter().filter(|f| f.check == name).count();
+        let status = if n == 0 { "ok" } else { "FAIL" };
+        println!("tidy: check {name}: {status} ({n} findings)");
+    }
+    let status = if findings.is_empty() { "ok" } else { "FAIL" };
+    println!("tidy: result: {status} ({} findings)", findings.len());
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

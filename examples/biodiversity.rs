@@ -49,12 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "coverage: {:.1}% of occurrences fall inside at least one ecoregion",
-        100.0 * run
-            .pairs()
-            .iter()
-            .map(|&(occ, _)| occ)
-            .collect::<std::collections::HashSet<_>>()
-            .len() as f64
+        100.0
+            * run
+                .pairs()
+                .iter()
+                .map(|&(occ, _)| occ)
+                .collect::<std::collections::HashSet<_>>()
+                .len() as f64
             / gbif.len() as f64
     );
     Ok(())

@@ -18,7 +18,11 @@ const TARGET_SECONDS: f64 = 5.0;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dfs = MiniDfs::new(10, 64 * 1024)?;
     datagen::write_dataset(&dfs, "/taxi", &datagen::taxi::geometries(300_000, 5))?;
-    datagen::write_dataset(&dfs, "/nycb", &datagen::nycb::geometries(datagen::full_size::NYCB, 5))?;
+    datagen::write_dataset(
+        &dfs,
+        "/nycb",
+        &datagen::nycb::geometries(datagen::full_size::NYCB, 5),
+    )?;
 
     let spark = SpatialSpark::new(sparklet::SparkConf::default(), dfs.clone());
     let spark_run = spark.broadcast_spatial_join("/taxi", "/nycb", SpatialPredicate::Within)?;
@@ -30,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let ispmc_run = ispmc.spatial_join("taxi", "nycb", SpatialPredicate::Within)?;
 
-    println!("join: 300K pickups x 40K census blocks ({} pairs)", spark_run.pair_count());
+    println!(
+        "join: 300K pickups x 40K census blocks ({} pairs)",
+        spark_run.pair_count()
+    );
     println!("target latency: {TARGET_SECONDS} s\n");
     println!("{:>6}{:>16}{:>12}", "nodes", "SpatialSpark(s)", "ISP-MC(s)");
     let mut spark_pick = None;
@@ -49,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     match spark_pick {
         Some(n) => println!("SpatialSpark meets {TARGET_SECONDS} s with {n} node(s)"),
-        None => println!("SpatialSpark cannot meet {TARGET_SECONDS} s within 16 nodes (fixed startup dominates)"),
+        None => println!(
+            "SpatialSpark cannot meet {TARGET_SECONDS} s within 16 nodes (fixed startup dominates)"
+        ),
     }
     match ispmc_pick {
         Some(n) => println!("ISP-MC meets {TARGET_SECONDS} s with {n} node(s)"),

@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. SpatialSpark: the broadcast R-tree join as dataset transforms.
     let spark = SpatialSpark::new(sparklet::SparkConf::default(), dfs.clone());
-    let spark_run = spark.broadcast_spatial_join("/data/taxi", "/data/nycb", SpatialPredicate::Within)?;
+    let spark_run =
+        spark.broadcast_spatial_join("/data/taxi", "/data/nycb", SpatialPredicate::Within)?;
     println!(
         "SpatialSpark: {} point-in-polygon pairs, {:.3}s of task work",
         spark_run.pair_count(),

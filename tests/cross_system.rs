@@ -70,7 +70,12 @@ fn check_experiment(
         right.0
     );
 
-    let ispmc = IspMc::new(impalite::ImpaladConf::default(), fx.dfs.clone(), left, right);
+    let ispmc = IspMc::new(
+        impalite::ImpaladConf::default(),
+        fx.dfs.clone(),
+        left,
+        right,
+    );
     let ispmc_run = ispmc.spatial_join(left.0, right.0, predicate).unwrap();
     assert_eq!(
         normalize_pairs(ispmc_run.pairs().to_vec()),

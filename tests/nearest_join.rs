@@ -101,16 +101,20 @@ fn st_nearest_runs_through_sql() {
 fn nearest_is_subset_of_nearestd() {
     let (left, right) = fixture();
     let nearest = nearest_join(&left, &right, 400.0, &PreparedEngine);
-    let all_within: std::collections::HashSet<(i64, i64)> = spatialjoin::join::broadcast_index_join(
-        &left,
-        &right,
-        SpatialPredicate::NearestD(400.0),
-        &PreparedEngine,
-    )
-    .into_iter()
-    .collect();
+    let all_within: std::collections::HashSet<(i64, i64)> =
+        spatialjoin::join::broadcast_index_join(
+            &left,
+            &right,
+            SpatialPredicate::NearestD(400.0),
+            &PreparedEngine,
+        )
+        .into_iter()
+        .collect();
     for pair in &nearest {
-        assert!(all_within.contains(pair), "nearest pair {pair:?} missing from within-D set");
+        assert!(
+            all_within.contains(pair),
+            "nearest pair {pair:?} missing from within-D set"
+        );
     }
     assert!(nearest.len() <= all_within.len());
 }

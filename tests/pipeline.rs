@@ -65,8 +65,7 @@ fn hotspot_aggregation_end_to_end() {
     // nycb tiles the full extent, so nearly every pickup matches
     // exactly one block.
     assert!(run.pair_count() > 19_000);
-    let unique_left: std::collections::HashSet<i64> =
-        run.pairs.iter().map(|&(l, _)| l).collect();
+    let unique_left: std::collections::HashSet<i64> = run.pairs.iter().map(|&(l, _)| l).collect();
     // A point on a shared block boundary can match two blocks; pairs
     // may slightly exceed unique points but never the reverse.
     assert!(run.pair_count() >= unique_left.len());

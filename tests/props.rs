@@ -1,30 +1,31 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! running on the in-tree `proph` harness.
 
 use geom::engine::{FlatEngine, NaiveEngine, PreparedEngine, RefinementEngine, SpatialPredicate};
 use geom::{Envelope, Geometry, HasEnvelope, LineString, Point, Polygon};
-use proptest::prelude::*;
+use proph::{check, f64_range, vec_of, Gen, GenExt};
 use rtree::{DynamicRTree, GridIndex, RTree};
 
-/// Strategy: a finite coordinate in a sane range.
-fn coord() -> impl Strategy<Value = f64> {
-    -1000.0..1000.0f64
+/// Generator: a finite coordinate in a sane range.
+fn coord() -> impl Gen<Value = f64> {
+    f64_range(-1000.0, 1000.0)
 }
 
-/// Strategy: an arbitrary envelope (possibly degenerate).
-fn envelope() -> impl Strategy<Value = Envelope> {
-    (coord(), coord(), coord(), coord()).prop_map(|(a, b, c, d)| Envelope::new(a, b, c, d))
+/// Generator: an arbitrary envelope (possibly degenerate).
+fn envelope() -> impl Gen<Value = Envelope> {
+    (coord(), coord(), coord(), coord()).map(|(a, b, c, d)| Envelope::new(a, b, c, d))
 }
 
-/// Strategy: a simple star-shaped polygon around a random centre —
+/// Generator: a simple star-shaped polygon around a random centre —
 /// guaranteed valid (non-self-intersecting) by the radial construction.
-fn star_polygon() -> impl Strategy<Value = Polygon> {
+fn star_polygon() -> impl Gen<Value = Polygon> {
     (
         coord(),
         coord(),
-        1.0..50.0f64,
-        proptest::collection::vec(0.3..1.0f64, 3..40),
+        f64_range(1.0, 50.0),
+        vec_of(f64_range(0.3, 1.0), 3, 39),
     )
-        .prop_map(|(cx, cy, radius, radii)| {
+        .map(|(cx, cy, radius, radii)| {
             let n = radii.len();
             let mut coords = Vec::with_capacity((n + 1) * 2);
             for (i, r) in radii.iter().enumerate() {
@@ -38,222 +39,319 @@ fn star_polygon() -> impl Strategy<Value = Polygon> {
         })
 }
 
-/// Strategy: a polyline with 2–20 vertices.
-fn polyline() -> impl Strategy<Value = LineString> {
-    proptest::collection::vec((coord(), coord()), 2..20).prop_map(|pts| {
+/// Generator: a polyline with 2–19 vertices.
+fn polyline() -> impl Gen<Value = LineString> {
+    vec_of((coord(), coord()), 2, 19).map(|pts| {
         let coords = pts.iter().flat_map(|&(x, y)| [x, y]).collect();
         LineString::new(coords).expect("≥2 points")
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+// --- envelope algebra ---
 
-    // --- envelope algebra ---
+#[test]
+fn envelope_union_contains_both() {
+    check(
+        "envelope_union_contains_both",
+        &(envelope(), envelope()),
+        |(a, b)| {
+            let u = a.union(&b);
+            assert!(u.contains_envelope(&a));
+            assert!(u.contains_envelope(&b));
+        },
+    );
+}
 
-    #[test]
-    fn envelope_union_contains_both(a in envelope(), b in envelope()) {
-        let u = a.union(&b);
-        prop_assert!(u.contains_envelope(&a));
-        prop_assert!(u.contains_envelope(&b));
-    }
+#[test]
+fn envelope_intersection_symmetric_and_contained() {
+    check(
+        "envelope_intersection_symmetric_and_contained",
+        &(envelope(), envelope()),
+        |(a, b)| {
+            let i1 = a.intersection(&b);
+            let i2 = b.intersection(&a);
+            assert_eq!(i1, i2);
+            if !i1.is_empty() {
+                assert!(a.contains_envelope(&i1));
+                assert!(b.contains_envelope(&i1));
+                assert!(a.intersects(&b));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn envelope_intersection_symmetric_and_contained(a in envelope(), b in envelope()) {
-        let i1 = a.intersection(&b);
-        let i2 = b.intersection(&a);
-        prop_assert_eq!(i1, i2);
-        if !i1.is_empty() {
-            prop_assert!(a.contains_envelope(&i1));
-            prop_assert!(b.contains_envelope(&i1));
-            prop_assert!(a.intersects(&b));
-        }
-    }
+#[test]
+fn envelope_expansion_monotone() {
+    check(
+        "envelope_expansion_monotone",
+        &(envelope(), f64_range(0.0, 100.0), coord(), coord()),
+        |(e, d, x, y)| {
+            let big = e.expanded_by(d);
+            if e.contains(x, y) {
+                assert!(big.contains(x, y));
+            }
+            assert!(
+                big.distance_to_point(Point::new(x, y)) <= e.distance_to_point(Point::new(x, y))
+            );
+        },
+    );
+}
 
-    #[test]
-    fn envelope_expansion_monotone(e in envelope(), d in 0.0..100.0f64, x in coord(), y in coord()) {
-        let big = e.expanded_by(d);
-        if e.contains(x, y) {
-            prop_assert!(big.contains(x, y));
-        }
-        prop_assert!(big.distance_to_point(Point::new(x, y)) <= e.distance_to_point(Point::new(x, y)));
-    }
+// --- WKT and binary round trips ---
 
-    // --- WKT and binary round trips ---
-
-    #[test]
-    fn wkt_round_trip_polygon(poly in star_polygon()) {
+#[test]
+fn wkt_round_trip_polygon() {
+    check("wkt_round_trip_polygon", &star_polygon(), |poly| {
         let g = Geometry::Polygon(poly);
         let text = geom::wkt::write(&g);
         let back = geom::wkt::parse(&text).unwrap();
-        prop_assert_eq!(back, g);
-    }
+        assert_eq!(back, g);
+    });
+}
 
-    #[test]
-    fn wkt_round_trip_linestring(ls in polyline()) {
+#[test]
+fn wkt_round_trip_linestring() {
+    check("wkt_round_trip_linestring", &polyline(), |ls| {
         let g = Geometry::LineString(ls);
         let back = geom::wkt::parse(&geom::wkt::write(&g)).unwrap();
-        prop_assert_eq!(back, g);
-    }
+        assert_eq!(back, g);
+    });
+}
 
-    #[test]
-    fn binary_round_trip(poly in star_polygon(), ls in polyline(), x in coord(), y in coord()) {
-        for g in [
-            Geometry::Polygon(poly),
-            Geometry::LineString(ls),
-            Geometry::Point(Point::new(x, y)),
-        ] {
-            let bytes = geom::binary::encode(&g);
-            let (back, used) = geom::binary::decode(&bytes).unwrap();
-            prop_assert_eq!(back, g);
-            prop_assert_eq!(used, bytes.len());
-        }
-    }
+#[test]
+fn binary_round_trip() {
+    check(
+        "binary_round_trip",
+        &(star_polygon(), polyline(), coord(), coord()),
+        |(poly, ls, x, y)| {
+            for g in [
+                Geometry::Polygon(poly),
+                Geometry::LineString(ls),
+                Geometry::Point(Point::new(x, y)),
+            ] {
+                let bytes = geom::binary::encode(&g);
+                let (back, used) = geom::binary::decode(&bytes).unwrap();
+                assert_eq!(back, g);
+                assert_eq!(used, bytes.len());
+            }
+        },
+    );
+}
 
-    // --- engine agreement ---
+// --- engine agreement ---
 
-    #[test]
-    fn engines_agree_on_within(poly in star_polygon(), pts in proptest::collection::vec((coord(), coord()), 1..50)) {
-        let g = Geometry::Polygon(poly);
-        let fast = PreparedEngine.prepare(&g);
-        let flat = FlatEngine.prepare(&g);
-        let naive = NaiveEngine.prepare(&g);
-        for (x, y) in pts {
+#[test]
+fn engines_agree_on_within() {
+    check(
+        "engines_agree_on_within",
+        &(star_polygon(), vec_of((coord(), coord()), 1, 49)),
+        |(poly, pts)| {
+            let g = Geometry::Polygon(poly);
+            let fast = PreparedEngine.prepare(&g);
+            let flat = FlatEngine.prepare(&g);
+            let naive = NaiveEngine.prepare(&g);
+            for (x, y) in pts {
+                let p = Point::new(x, y);
+                let a = PreparedEngine.within(p, &fast);
+                let b = FlatEngine.within(p, &flat);
+                let c = NaiveEngine.within(p, &naive);
+                assert_eq!(a, b, "prepared vs flat at ({x}, {y})");
+                assert_eq!(a, c, "prepared vs naive at ({x}, {y})");
+            }
+        },
+    );
+}
+
+#[test]
+fn engines_agree_on_distance() {
+    check(
+        "engines_agree_on_distance",
+        &(
+            polyline(),
+            vec_of((coord(), coord()), 1, 29),
+            f64_range(0.1, 200.0),
+        ),
+        |(ls, pts, d)| {
+            let g = Geometry::LineString(ls);
+            let fast = PreparedEngine.prepare(&g);
+            let flat = FlatEngine.prepare(&g);
+            let naive = NaiveEngine.prepare(&g);
+            for (x, y) in pts {
+                let p = Point::new(x, y);
+                let a = PreparedEngine.within_distance(p, &fast, d);
+                let b = FlatEngine.within_distance(p, &flat, d);
+                let c = NaiveEngine.within_distance(p, &naive, d);
+                assert_eq!(a, b);
+                assert_eq!(a, c);
+            }
+        },
+    );
+}
+
+#[test]
+fn polygon_containment_respects_envelope() {
+    check(
+        "polygon_containment_respects_envelope",
+        &(star_polygon(), coord(), coord()),
+        |(poly, x, y)| {
             let p = Point::new(x, y);
-            let a = PreparedEngine.within(p, &fast);
-            let b = FlatEngine.within(p, &flat);
-            let c = NaiveEngine.within(p, &naive);
-            prop_assert_eq!(a, b, "prepared vs flat at ({}, {})", x, y);
-            prop_assert_eq!(a, c, "prepared vs naive at ({}, {})", x, y);
-        }
-    }
+            if poly.contains_point(p) {
+                assert!(poly.envelope().contains(p.x, p.y));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn engines_agree_on_distance(ls in polyline(), pts in proptest::collection::vec((coord(), coord()), 1..30), d in 0.1..200.0f64) {
-        let g = Geometry::LineString(ls);
-        let fast = PreparedEngine.prepare(&g);
-        let flat = FlatEngine.prepare(&g);
-        let naive = NaiveEngine.prepare(&g);
-        for (x, y) in pts {
-            let p = Point::new(x, y);
-            let a = PreparedEngine.within_distance(p, &fast, d);
-            let b = FlatEngine.within_distance(p, &flat, d);
-            let c = NaiveEngine.within_distance(p, &naive, d);
-            prop_assert_eq!(a, b);
-            prop_assert_eq!(a, c);
-        }
-    }
+// --- index agreement with linear scans ---
 
-    #[test]
-    fn polygon_containment_respects_envelope(poly in star_polygon(), x in coord(), y in coord()) {
-        let p = Point::new(x, y);
-        if poly.contains_point(p) {
-            prop_assert!(poly.envelope().contains(p.x, p.y));
-        }
-    }
+#[test]
+fn rtree_query_equals_linear_scan() {
+    check(
+        "rtree_query_equals_linear_scan",
+        &(
+            vec_of(
+                (coord(), coord(), f64_range(0.0, 20.0), f64_range(0.0, 20.0)),
+                1,
+                299,
+            ),
+            envelope(),
+        ),
+        |(boxes, query)| {
+            let entries: Vec<(Envelope, usize)> = boxes
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
+                .collect();
+            let tree = RTree::bulk_load_entries(entries.clone());
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|(e, _)| e.intersects(&query))
+                .map(|&(_, i)| i)
+                .collect();
+            let mut got: Vec<usize> = tree.query(&query).into_iter().copied().collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        },
+    );
+}
 
-    // --- index agreement with linear scans ---
+#[test]
+fn dynamic_rtree_matches_str_tree() {
+    check(
+        "dynamic_rtree_matches_str_tree",
+        &(
+            vec_of(
+                (coord(), coord(), f64_range(0.0, 20.0), f64_range(0.0, 20.0)),
+                1,
+                199,
+            ),
+            envelope(),
+        ),
+        |(boxes, query)| {
+            let entries: Vec<(Envelope, usize)> = boxes
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
+                .collect();
+            let str_tree = RTree::bulk_load_entries(entries.clone());
+            let mut dyn_tree = DynamicRTree::new();
+            for (e, i) in &entries {
+                dyn_tree.insert_entry(*e, *i);
+            }
+            let mut a: Vec<usize> = str_tree.query(&query).into_iter().copied().collect();
+            let mut b: Vec<usize> = dyn_tree.query(&query).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        },
+    );
+}
 
-    #[test]
-    fn rtree_query_equals_linear_scan(
-        boxes in proptest::collection::vec((coord(), coord(), 0.0..20.0f64, 0.0..20.0f64), 1..300),
-        query in envelope(),
-    ) {
-        let entries: Vec<(Envelope, usize)> = boxes
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
-            .collect();
-        let tree = RTree::bulk_load_entries(entries.clone());
-        let mut expected: Vec<usize> = entries
-            .iter()
-            .filter(|(e, _)| e.intersects(&query))
-            .map(|&(_, i)| i)
-            .collect();
-        let mut got: Vec<usize> = tree.query(&query).into_iter().copied().collect();
-        expected.sort_unstable();
-        got.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+#[test]
+fn grid_matches_rtree() {
+    check(
+        "grid_matches_rtree",
+        &(
+            vec_of(
+                (
+                    f64_range(0.0, 100.0),
+                    f64_range(0.0, 100.0),
+                    f64_range(0.0, 10.0),
+                    f64_range(0.0, 10.0),
+                ),
+                1,
+                199,
+            ),
+            (
+                f64_range(0.0, 100.0),
+                f64_range(0.0, 100.0),
+                f64_range(0.0, 30.0),
+                f64_range(0.0, 30.0),
+            ),
+        ),
+        |(boxes, (qx, qy, qw, qh))| {
+            let entries: Vec<(Envelope, usize)> = boxes
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
+                .collect();
+            let query = Envelope::new(qx, qy, qx + qw, qy + qh);
+            let tree = RTree::bulk_load_entries(entries.clone());
+            let grid = GridIndex::build(Envelope::new(0.0, 0.0, 115.0, 115.0), 8, 8, entries);
+            let mut a: Vec<usize> = tree.query(&query).into_iter().copied().collect();
+            let mut b: Vec<usize> = grid.query(&query).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        },
+    );
+}
 
-    #[test]
-    fn dynamic_rtree_matches_str_tree(
-        boxes in proptest::collection::vec((coord(), coord(), 0.0..20.0f64, 0.0..20.0f64), 1..200),
-        query in envelope(),
-    ) {
-        let entries: Vec<(Envelope, usize)> = boxes
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
-            .collect();
-        let str_tree = RTree::bulk_load_entries(entries.clone());
-        let mut dyn_tree = DynamicRTree::new();
-        for (e, i) in &entries {
-            dyn_tree.insert_entry(*e, *i);
-        }
-        let mut a: Vec<usize> = str_tree.query(&query).into_iter().copied().collect();
-        let mut b: Vec<usize> = dyn_tree.query(&query).into_iter().copied().collect();
-        a.sort_unstable();
-        b.sort_unstable();
-        prop_assert_eq!(a, b);
-    }
+// --- join-level invariants ---
 
-    #[test]
-    fn grid_matches_rtree(
-        boxes in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64, 0.0..10.0f64, 0.0..10.0f64), 1..200),
-        qx in 0.0..100.0f64, qy in 0.0..100.0f64, qw in 0.0..30.0f64, qh in 0.0..30.0f64,
-    ) {
-        let entries: Vec<(Envelope, usize)> = boxes
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y, w, h))| (Envelope::new(x, y, x + w, y + h), i))
-            .collect();
-        let query = Envelope::new(qx, qy, qx + qw, qy + qh);
-        let tree = RTree::bulk_load_entries(entries.clone());
-        let grid = GridIndex::build(Envelope::new(0.0, 0.0, 115.0, 115.0), 8, 8, entries);
-        let mut a: Vec<usize> = tree.query(&query).into_iter().copied().collect();
-        let mut b: Vec<usize> = grid.query(&query).into_iter().copied().collect();
-        a.sort_unstable();
-        b.sort_unstable();
-        prop_assert_eq!(a, b);
-    }
-
-    // --- join-level invariants ---
-
-    #[test]
-    fn join_output_pairs_satisfy_predicate(
-        polys in proptest::collection::vec(star_polygon(), 1..10),
-        pts in proptest::collection::vec((coord(), coord()), 1..100),
-    ) {
-        let left: Vec<(i64, Point)> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (i as i64, Point::new(x, y)))
-            .collect();
-        let right: Vec<(i64, Geometry)> = polys
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i as i64, Geometry::Polygon(p.clone())))
-            .collect();
-        let pairs = spatialjoin::join::broadcast_index_join(
-            &left,
-            &right,
-            SpatialPredicate::Within,
-            &PreparedEngine,
-        );
-        // Soundness: every emitted pair satisfies Within.
-        for &(lid, rid) in &pairs {
-            let p = left[lid as usize].1;
-            prop_assert!(right[rid as usize].1.contains_point(p));
-        }
-        // Completeness: every satisfying pair is emitted.
-        let emitted: std::collections::HashSet<(i64, i64)> = pairs.into_iter().collect();
-        for &(lid, p) in &left {
-            for (rid, g) in &right {
-                if g.contains_point(p) {
-                    prop_assert!(emitted.contains(&(lid, *rid)), "missing pair ({}, {})", lid, rid);
+#[test]
+fn join_output_pairs_satisfy_predicate() {
+    check(
+        "join_output_pairs_satisfy_predicate",
+        &(
+            vec_of(star_polygon(), 1, 9),
+            vec_of((coord(), coord()), 1, 99),
+        ),
+        |(polys, pts)| {
+            let left: Vec<(i64, Point)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (i as i64, Point::new(x, y)))
+                .collect();
+            let right: Vec<(i64, Geometry)> = polys
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as i64, Geometry::Polygon(p.clone())))
+                .collect();
+            let pairs = spatialjoin::join::broadcast_index_join(
+                &left,
+                &right,
+                SpatialPredicate::Within,
+                &PreparedEngine,
+            );
+            // Soundness: every emitted pair satisfies Within.
+            for &(lid, rid) in &pairs {
+                let p = left[lid as usize].1;
+                assert!(right[rid as usize].1.contains_point(p));
+            }
+            // Completeness: every satisfying pair is emitted.
+            let emitted: std::collections::HashSet<(i64, i64)> = pairs.into_iter().collect();
+            for &(lid, p) in &left {
+                for (rid, g) in &right {
+                    if g.contains_point(p) {
+                        assert!(
+                            emitted.contains(&(lid, *rid)),
+                            "missing pair ({lid}, {rid})"
+                        );
+                    }
                 }
             }
-        }
-    }
+        },
+    );
 }

@@ -1,147 +1,218 @@
 //! Property-based tests for the extension modules: partitioners,
-//! clipping, simplification, hulls, binary codec and trajectories.
+//! clipping, simplification, hulls, binary codec and trajectories,
+//! running on the in-tree `proph` harness.
 
 use geom::algorithms::clip::{clip_linestring, clip_polygon};
 use geom::algorithms::hull::convex_hull;
 use geom::algorithms::simplify::simplify_points;
 use geom::{Envelope, LineString, Point, Polygon, Trajectory};
-use proptest::prelude::*;
+use proph::{check_with, f64_range, usize_range, vec_of, Config, Gen, GenExt};
 use rtree::{FixedGridPartitioner, SpatialPartitioner, StrPartitioner};
 
-fn coord() -> impl Strategy<Value = f64> {
-    -100.0..100.0f64
+/// 96 cases to match the original suite's budget.
+fn check<G, P>(name: &str, gen: &G, prop: P)
+where
+    G: Gen,
+    G::Value: std::fmt::Debug,
+    P: Fn(G::Value),
+{
+    check_with(
+        Config {
+            cases: 96,
+            ..Config::default()
+        },
+        name,
+        gen,
+        prop,
+    );
 }
 
-fn points(n: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec((coord(), coord()), 3..n)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+fn coord() -> impl Gen<Value = f64> {
+    f64_range(-100.0, 100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn points(n: usize) -> impl Gen<Value = Vec<Point>> {
+    vec_of((coord(), coord()), 3, n - 1)
+        .map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
 
-    // --- partitioners ---
+// --- partitioners ---
 
-    #[test]
-    fn str_partitioner_owns_every_interior_point(sample in points(200), probes in points(50)) {
-        let extent = Envelope::new(-100.0, -100.0, 100.0, 100.0);
-        let p = StrPartitioner::build(extent, &sample, 16);
-        for probe in probes {
-            let cell = p.cell_of(probe).expect("interior point must be owned");
-            prop_assert!(p.cells()[cell].contains(probe.x, probe.y));
-            // The owning cell is among the cells any envelope around the
-            // point routes to — the partitioned-join invariant.
-            let routed = p.cells_intersecting(&Envelope::of_point(probe).expanded_by(1.0));
-            prop_assert!(routed.contains(&cell));
-        }
-    }
-
-    #[test]
-    fn grid_partitioner_cells_tile(cols in 1usize..12, rows in 1usize..12) {
-        let extent = Envelope::new(0.0, 0.0, 37.0, 23.0);
-        let g = FixedGridPartitioner::new(extent, cols, rows);
-        let total: f64 = g.cells().iter().map(Envelope::area).sum();
-        prop_assert!((total - extent.area()).abs() < 1e-9 * extent.area());
-        prop_assert_eq!(g.num_cells(), cols * rows);
-    }
-
-    // --- clipping ---
-
-    #[test]
-    fn clipped_polygon_is_inside_both(cx in coord(), cy in coord(), s in 1.0..50.0f64,
-                                      wx in coord(), wy in coord(), ws in 1.0..50.0f64) {
-        let poly = Polygon::rectangle(Envelope::new(cx, cy, cx + s, cy + s));
-        let window = Envelope::new(wx, wy, wx + ws, wy + ws);
-        if let Some(clipped) = clip_polygon(&poly, window).unwrap() {
-            use geom::HasEnvelope;
-            let e = clipped.envelope();
-            prop_assert!(window.expanded_by(1e-9).contains_envelope(&e));
-            prop_assert!(poly.envelope().expanded_by(1e-9).contains_envelope(&e));
-            // Area never exceeds either input.
-            prop_assert!(clipped.area() <= poly.area() + 1e-9);
-            prop_assert!(clipped.area() <= window.area() + 1e-9);
-        }
-    }
-
-    #[test]
-    fn clipped_linestring_pieces_are_inside(pts in points(12), wx in coord(), wy in coord(), ws in 5.0..80.0f64) {
-        let coords: Vec<f64> = pts.iter().flat_map(|p| [p.x, p.y]).collect();
-        let ls = LineString::new(coords).unwrap();
-        let window = Envelope::new(wx, wy, wx + ws, wy + ws);
-        let total_len: f64 = ls.length();
-        let mut clipped_len = 0.0;
-        for piece in clip_linestring(&ls, window) {
-            use geom::HasEnvelope;
-            prop_assert!(window.expanded_by(1e-6).contains_envelope(&piece.envelope()));
-            clipped_len += piece.length();
-        }
-        prop_assert!(clipped_len <= total_len + 1e-6);
-    }
-
-    // --- simplification ---
-
-    #[test]
-    fn simplification_error_is_bounded(pts in points(60), tol in 0.01..5.0f64) {
-        let kept = simplify_points(&pts, tol);
-        prop_assert!(kept.len() >= 2);
-        prop_assert_eq!(kept[0], pts[0]);
-        prop_assert_eq!(*kept.last().unwrap(), *pts.last().unwrap());
-        if kept.len() >= 2 {
-            let chain = LineString::from_points(&kept).unwrap();
-            for p in &pts {
-                prop_assert!(chain.distance_to_point(*p) <= tol + 1e-9);
+#[test]
+fn str_partitioner_owns_every_interior_point() {
+    check(
+        "str_partitioner_owns_every_interior_point",
+        &(points(200), points(50)),
+        |(sample, probes)| {
+            let extent = Envelope::new(-100.0, -100.0, 100.0, 100.0);
+            let p = StrPartitioner::build(extent, &sample, 16);
+            for probe in probes {
+                let cell = p.cell_of(probe).expect("interior point must be owned");
+                assert!(p.cells()[cell].contains(probe.x, probe.y));
+                // The owning cell is among the cells any envelope around the
+                // point routes to — the partitioned-join invariant.
+                let routed = p.cells_intersecting(&Envelope::of_point(probe).expanded_by(1.0));
+                assert!(routed.contains(&cell));
             }
-        }
-    }
+        },
+    );
+}
 
-    // --- convex hull ---
+#[test]
+fn grid_partitioner_cells_tile() {
+    check(
+        "grid_partitioner_cells_tile",
+        &(usize_range(1, 12), usize_range(1, 12)),
+        |(cols, rows)| {
+            let extent = Envelope::new(0.0, 0.0, 37.0, 23.0);
+            let g = FixedGridPartitioner::new(extent, cols, rows);
+            let total: f64 = g.cells().iter().map(Envelope::area).sum();
+            assert!((total - extent.area()).abs() < 1e-9 * extent.area());
+            assert_eq!(g.num_cells(), cols * rows);
+        },
+    );
+}
 
-    #[test]
-    fn hull_contains_all_inputs(pts in points(80)) {
+// --- clipping ---
+
+#[test]
+fn clipped_polygon_is_inside_both() {
+    check(
+        "clipped_polygon_is_inside_both",
+        &(
+            coord(),
+            coord(),
+            f64_range(1.0, 50.0),
+            coord(),
+            coord(),
+            f64_range(1.0, 50.0),
+        ),
+        |(cx, cy, s, wx, wy, ws)| {
+            let poly = Polygon::rectangle(Envelope::new(cx, cy, cx + s, cy + s));
+            let window = Envelope::new(wx, wy, wx + ws, wy + ws);
+            if let Some(clipped) = clip_polygon(&poly, window).unwrap() {
+                use geom::HasEnvelope;
+                let e = clipped.envelope();
+                assert!(window.expanded_by(1e-9).contains_envelope(&e));
+                assert!(poly.envelope().expanded_by(1e-9).contains_envelope(&e));
+                // Area never exceeds either input.
+                assert!(clipped.area() <= poly.area() + 1e-9);
+                assert!(clipped.area() <= window.area() + 1e-9);
+            }
+        },
+    );
+}
+
+#[test]
+fn clipped_linestring_pieces_are_inside() {
+    check(
+        "clipped_linestring_pieces_are_inside",
+        &(points(12), coord(), coord(), f64_range(5.0, 80.0)),
+        |(pts, wx, wy, ws)| {
+            let coords: Vec<f64> = pts.iter().flat_map(|p| [p.x, p.y]).collect();
+            let ls = LineString::new(coords).unwrap();
+            let window = Envelope::new(wx, wy, wx + ws, wy + ws);
+            let total_len: f64 = ls.length();
+            let mut clipped_len = 0.0;
+            for piece in clip_linestring(&ls, window) {
+                use geom::HasEnvelope;
+                assert!(window
+                    .expanded_by(1e-6)
+                    .contains_envelope(&piece.envelope()));
+                clipped_len += piece.length();
+            }
+            assert!(clipped_len <= total_len + 1e-6);
+        },
+    );
+}
+
+// --- simplification ---
+
+#[test]
+fn simplification_error_is_bounded() {
+    check(
+        "simplification_error_is_bounded",
+        &(points(60), f64_range(0.01, 5.0)),
+        |(pts, tol)| {
+            let kept = simplify_points(&pts, tol);
+            assert!(kept.len() >= 2);
+            assert_eq!(kept[0], pts[0]);
+            assert_eq!(*kept.last().unwrap(), *pts.last().unwrap());
+            if kept.len() >= 2 {
+                let chain = LineString::from_points(&kept).unwrap();
+                for p in &pts {
+                    assert!(chain.distance_to_point(*p) <= tol + 1e-9);
+                }
+            }
+        },
+    );
+}
+
+// --- convex hull ---
+
+#[test]
+fn hull_contains_all_inputs() {
+    check("hull_contains_all_inputs", &points(80), |pts| {
         if let Ok(hull) = convex_hull(&pts) {
             for p in &pts {
-                prop_assert!(hull.contains_point(*p), "hull must contain {:?}", p);
+                assert!(hull.contains_point(*p), "hull must contain {p:?}");
             }
             // CCW and positive area.
-            prop_assert!(hull.exterior().signed_area() > 0.0);
+            assert!(hull.exterior().signed_area() > 0.0);
         }
-    }
+    });
+}
 
-    // --- trajectories ---
+// --- trajectories ---
 
-    #[test]
-    fn trajectory_record_round_trip(pts in points(20), dt in 0.1..100.0f64, id in 0i64..1_000_000) {
-        let coords: Vec<f64> = pts.iter().flat_map(|p| [p.x, p.y]).collect();
-        let path = LineString::new(coords).unwrap();
-        let times: Vec<f64> = (0..path.num_points()).map(|i| i as f64 * dt).collect();
-        let t = Trajectory::new(path, times).unwrap();
-        let (rid, back) = Trajectory::from_record(&t.to_record(id)).unwrap();
-        prop_assert_eq!(rid, id);
-        prop_assert_eq!(back, t);
-    }
+#[test]
+fn trajectory_record_round_trip() {
+    check(
+        "trajectory_record_round_trip",
+        &(
+            points(20),
+            f64_range(0.1, 100.0),
+            proph::i64_range(0, 1_000_000),
+        ),
+        |(pts, dt, id)| {
+            let coords: Vec<f64> = pts.iter().flat_map(|p| [p.x, p.y]).collect();
+            let path = LineString::new(coords).unwrap();
+            let times: Vec<f64> = (0..path.num_points()).map(|i| i as f64 * dt).collect();
+            let t = Trajectory::new(path, times).unwrap();
+            let (rid, back) = Trajectory::from_record(&t.to_record(id)).unwrap();
+            assert_eq!(rid, id);
+            assert_eq!(back, t);
+        },
+    );
+}
 
-    #[test]
-    fn trajectory_position_interpolates_between_samples(pts in points(10), dt in 1.0..10.0f64) {
-        let coords: Vec<f64> = pts.iter().flat_map(|p| [p.x, p.y]).collect();
-        let path = LineString::new(coords).unwrap();
-        let n = path.num_points();
-        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
-        let t = Trajectory::new(path.clone(), times).unwrap();
-        // At sample instants, position equals the sample.
-        for i in 0..n {
-            let p = t.position_at(i as f64 * dt);
-            prop_assert!((p.x - path.point(i).x).abs() < 1e-9);
-            prop_assert!((p.y - path.point(i).y).abs() < 1e-9);
-        }
-        // Between samples, position lies on the segment.
-        for i in 0..n - 1 {
-            let mid = t.position_at((i as f64 + 0.5) * dt);
-            let d = geom::algorithms::segment::point_segment_distance(
-                mid,
-                path.point(i),
-                path.point(i + 1),
-            );
-            prop_assert!(d < 1e-9);
-        }
-    }
+#[test]
+fn trajectory_position_interpolates_between_samples() {
+    check(
+        "trajectory_position_interpolates_between_samples",
+        &(points(10), f64_range(1.0, 10.0)),
+        |(pts, dt)| {
+            let coords: Vec<f64> = pts.iter().flat_map(|p| [p.x, p.y]).collect();
+            let path = LineString::new(coords).unwrap();
+            let n = path.num_points();
+            let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+            let t = Trajectory::new(path.clone(), times).unwrap();
+            // At sample instants, position equals the sample.
+            for i in 0..n {
+                let p = t.position_at(i as f64 * dt);
+                assert!((p.x - path.point(i).x).abs() < 1e-9);
+                assert!((p.y - path.point(i).y).abs() < 1e-9);
+            }
+            // Between samples, position lies on the segment.
+            for i in 0..n - 1 {
+                let mid = t.position_at((i as f64 + 0.5) * dt);
+                let d = geom::algorithms::segment::point_segment_distance(
+                    mid,
+                    path.point(i),
+                    path.point(i + 1),
+                );
+                assert!(d < 1e-9);
+            }
+        },
+    );
 }

@@ -1,0 +1,145 @@
+//! Tier-1 wiring for the in-tree `tidy` static-analysis suite.
+//!
+//! Two halves that pin opposite failure modes:
+//!
+//! * `tree_is_tidy` runs every check over the live workspace and
+//!   requires zero findings — no false positives on the current tree.
+//! * The `fixture_*` tests feed each seeded-violation file from
+//!   `crates/tidy/fixtures/` through its check's per-file entry point
+//!   and require exactly one finding — the checks actually fire.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use tidy::lexer::SourceFile;
+
+fn root() -> PathBuf {
+    tidy::workspace_root().expect("tests run inside the workspace")
+}
+
+fn fixture(name: &str) -> SourceFile {
+    let path = root().join("crates/tidy/fixtures").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    tidy::lexer::lex(&text)
+}
+
+fn lock_order() -> Vec<String> {
+    let text = std::fs::read_to_string(root().join("crates/tidy/lock_order.toml"))
+        .expect("read lock_order.toml");
+    tidy::checks::locks::parse_order(&text).expect("parse lock order manifest")
+}
+
+/// Asserts the findings list is a single finding naming the expected
+/// check, carrying the fixture's path and a real line number — the
+/// shape `cargo run -p tidy` would print.
+fn assert_single(findings: &[tidy::Finding], check: &str, rel: &str) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected one {check} finding, got {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!(f.check, check);
+    assert_eq!(f.file, rel);
+    assert!(f.line > 0, "finding must carry a line number: {f:?}");
+    let rendered = f.to_string();
+    assert!(
+        rendered.contains(&format!("{check}: {rel}:{}", f.line)),
+        "rendered finding must name check and file:line: {rendered}"
+    );
+}
+
+#[test]
+fn tree_is_tidy() {
+    let tree = tidy::load_tree(&root()).expect("load workspace tree");
+    let findings = tidy::run_all(&tree);
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "tidy found {} problem(s):\n{}",
+        findings.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn fixture_alloc_in_region_trips_alloc_free() {
+    let rel = "crates/tidy/fixtures/alloc_in_region.rs";
+    let findings = tidy::checks::alloc_free::check_file(rel, &fixture("alloc_in_region.rs"));
+    assert_single(&findings, "alloc-free", rel);
+    assert!(findings[0].message.contains(".to_vec()"));
+}
+
+#[test]
+fn fixture_panic_site_trips_the_ratchet() {
+    let rel = "crates/tidy/fixtures/panic_site.rs";
+    let count = tidy::checks::panics::count_file(&fixture("panic_site.rs"));
+    assert_eq!(
+        count, 1,
+        "one non-test panic site (the test-module unwrap is exempt)"
+    );
+    let current = BTreeMap::from([(rel.to_string(), count)]);
+    let findings = tidy::checks::panics::compare(&current, &BTreeMap::new());
+    // Ratchet findings are per-file, not per-line, so no line assert.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].check, "panic-ratchet");
+    assert_eq!(findings[0].file, rel);
+    assert!(
+        findings[0].message.contains("allows 0"),
+        "{:?}",
+        findings[0]
+    );
+}
+
+#[test]
+fn fixture_lock_across_send_trips_lock_discipline() {
+    let rel = "crates/tidy/fixtures/lock_across_send.rs";
+    let findings =
+        tidy::checks::locks::check_file(rel, &fixture("lock_across_send.rs"), &lock_order());
+    assert_single(&findings, "lock-discipline", rel);
+    assert!(findings[0].message.contains(".send("), "{:?}", findings[0]);
+}
+
+#[test]
+fn fixture_lock_order_swap_trips_lock_discipline() {
+    let rel = "crates/tidy/fixtures/lock_order_swap.rs";
+    let findings =
+        tidy::checks::locks::check_file(rel, &fixture("lock_order_swap.rs"), &lock_order());
+    assert_single(&findings, "lock-discipline", rel);
+    assert!(findings[0].message.contains("order"), "{:?}", findings[0]);
+}
+
+#[test]
+fn fixture_float_eq_trips_float_eq() {
+    let rel = "crates/tidy/fixtures/float_eq.rs";
+    let findings = tidy::checks::float_eq::check_file(rel, &fixture("float_eq.rs"));
+    assert_single(&findings, "float-eq", rel);
+}
+
+#[test]
+fn fixture_unsafe_undoc_trips_unsafe_audit() {
+    let rel = "crates/tidy/fixtures/unsafe_undoc.rs";
+    let findings = tidy::checks::unsafe_audit::check_file(rel, &fixture("unsafe_undoc.rs"));
+    assert_single(&findings, "unsafe", rel);
+}
+
+#[test]
+fn fixture_bad_manifest_trips_deps() {
+    let rel = "crates/tidy/fixtures/bad_manifest.toml";
+    let text = std::fs::read_to_string(root().join(rel)).expect("read fixture manifest");
+    let findings = tidy::checks::deps::check_manifest(rel, &text);
+    assert_single(&findings, "deps", rel);
+    assert!(findings[0].message.contains("serde"), "{:?}", findings[0]);
+}
+
+#[test]
+fn baseline_parses_and_matches_declared_path() {
+    let text = std::fs::read_to_string(root().join(tidy::baseline::BASELINE_PATH))
+        .expect("baseline file exists");
+    let counts = tidy::baseline::parse(&text).expect("baseline parses");
+    assert!(
+        !counts.is_empty(),
+        "baseline should track at least one file"
+    );
+}

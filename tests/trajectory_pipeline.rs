@@ -82,5 +82,8 @@ fn simplified_trajectories_keep_their_zone_crossings_mostly() {
     let after = trajectory_zone_join(&simplified, &zones).len();
     // 25 ft tolerance against ~500 ft blocks: crossings barely change.
     let drift = (before as f64 - after as f64).abs() / before.max(1) as f64;
-    assert!(drift < 0.05, "crossings drifted {drift:.2} ({before} -> {after})");
+    assert!(
+        drift < 0.05,
+        "crossings drifted {drift:.2} ({before} -> {after})"
+    );
 }
