@@ -8,6 +8,10 @@
 #   2. cargo run -p tidy          in-tree static analysis (6 checks)
 #   3. cargo build --release      the tree compiles at opt level
 #   4. cargo test -q              unit + integration + tier-1 suites
+#   5. parallel-join equivalence  morsel executor ≡ serial joins, run
+#                                 single-test-threaded so the executor's
+#                                 own 7-thread pools are the only
+#                                 parallelism in the process
 #
 # Exit codes:
 #   0  everything passed
@@ -15,6 +19,7 @@
 #   2  tidy findings or tidy usage error (see its own output)
 #   3  release build failed
 #   4  tests failed
+#   5  parallel-join equivalence suite failed
 set -u
 
 cd "$(dirname "$0")" || exit 2
@@ -30,6 +35,9 @@ cargo build --release || exit 3
 
 echo "ci: cargo test -q"
 cargo test -q || exit 4
+
+echo "ci: parallel-join equivalence (RUST_TEST_THREADS=1, executor threads up to 7)"
+RUST_TEST_THREADS=1 cargo test -q --test parallel_join || exit 5
 
 echo "ci: ok"
 exit 0

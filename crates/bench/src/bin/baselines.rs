@@ -13,15 +13,15 @@
 
 use bench::{
     build_workload, ispmc_runtime_at_scale, parse_args, run_hadoop_baseline, run_ispmc_warm,
-    run_spark_warm, spark_runtime_at_scale, Experiment,
+    run_spark_warm, spark_runtime_at_scale, BenchError, Experiment,
 };
 
 const NODES: usize = 10;
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     eprintln!("# generating workload at scale {} ...", replay.scale);
-    let w = build_workload(replay.scale, 42);
+    let w = build_workload(replay.scale, 42)?;
     let exp = Experiment::TaxiNycb;
 
     println!(
@@ -34,7 +34,7 @@ fn main() {
     println!("{:<28}{:>12}{:>12}", "system", "runtime(s)", "pairs");
 
     eprintln!("# SpatialSpark ...");
-    let spark = run_spark_warm(&w, exp, threads);
+    let spark = run_spark_warm(&w, exp, threads)?;
     println!(
         "{:<28}{:>12.0}{:>12}",
         "SpatialSpark (broadcast)",
@@ -43,7 +43,7 @@ fn main() {
     );
 
     eprintln!("# ISP-MC ...");
-    let ispmc = run_ispmc_warm(&w, exp, threads);
+    let ispmc = run_ispmc_warm(&w, exp, threads)?;
     println!(
         "{:<28}{:>12.0}{:>12}",
         "ISP-MC (SQL)",
@@ -52,7 +52,7 @@ fn main() {
     );
 
     eprintln!("# SpatialHadoop-style ...");
-    let (sh, sh_total) = run_hadoop_baseline(&w, exp, threads, true, &replay, NODES);
+    let (sh, sh_total) = run_hadoop_baseline(&w, exp, threads, true, &replay, NODES)?;
     let join_only = {
         let scaled = bench::scale_hadoop_metrics(&sh.metrics, &replay);
         scaled.simulate_runtime(
@@ -72,7 +72,7 @@ fn main() {
     );
 
     eprintln!("# HadoopGIS-style ...");
-    let (gis, gis_t) = run_hadoop_baseline(&w, exp, threads, false, &replay, NODES);
+    let (gis, gis_t) = run_hadoop_baseline(&w, exp, threads, false, &replay, NODES)?;
     println!(
         "{:<28}{:>12.0}{:>12}",
         "HadoopGIS (reduce-side)",
@@ -90,4 +90,5 @@ fn main() {
         spatialjoin::normalize_pairs(gis.pairs.clone()),
     );
     println!("(all four systems produced identical join results)");
+    Ok(())
 }

@@ -1,13 +1,13 @@
 //! Diagnostic: decompose the ISP-MC vs standalone simulation terms for
 //! one experiment. Not a paper artifact.
 
-use bench::{build_workload, parse_args, run_ispmc_warm, Experiment};
+use bench::{build_workload, parse_args, run_ispmc_warm, BenchError, Experiment};
 use cluster::{simulate, ClusterSpec, Scheduler};
 
-fn main() {
-    let (replay, threads) = parse_args();
-    let w = build_workload(replay.scale, 42);
-    let run = run_ispmc_warm(&w, Experiment::TaxiLion500, threads);
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
+    let w = build_workload(replay.scale, 42)?;
+    let run = run_ispmc_warm(&w, Experiment::TaxiLion500, threads)?;
     let m = &run.result.metrics;
     let spec = ClusterSpec::single_node_highend();
 
@@ -45,4 +45,5 @@ fn main() {
     for (i, s) in core_sums.iter().enumerate() {
         println!("  core {i:>2}: {s:.3}");
     }
+    Ok(())
 }

@@ -7,16 +7,18 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fault_tolerance -- [--scale f]`
 
-use bench::{build_workload, parse_args, run_spark_warm, scale_spark_report, Experiment};
+use bench::{
+    build_workload, parse_args, run_spark_warm, scale_spark_report, BenchError, Experiment,
+};
 use cluster::{
     simulate, simulate_with_recompute, simulate_with_restart, ClusterSpec, Failure, Scheduler,
 };
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     eprintln!("# generating workload at scale {} ...", replay.scale);
-    let w = build_workload(replay.scale, 42);
-    let run = run_spark_warm(&w, Experiment::TaxiNycb, threads);
+    let w = build_workload(replay.scale, 42)?;
+    let run = run_spark_warm(&w, Experiment::TaxiNycb, threads)?;
     let report = scale_spark_report(&run.report, &replay);
 
     // Use the probe stage's task set — the bulk of the job.
@@ -54,4 +56,5 @@ fn main() {
         );
     }
     println!("(recompute re-runs only lost work; restart pays the elapsed time plus a full rerun)");
+    Ok(())
 }

@@ -8,15 +8,17 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig4 -- [--scale f] [--threads n]`
 
-use bench::{build_workload, parse_args, run_spark_warm, spark_runtime_at_scale, Experiment};
+use bench::{
+    build_workload, parse_args, run_spark_warm, spark_runtime_at_scale, BenchError, Experiment,
+};
 
 const NODES: [usize; 4] = [4, 6, 8, 10];
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     let scale = replay.scale;
     eprintln!("# generating workload at scale {scale} ...");
-    let w = build_workload(scale, 42);
+    let w = build_workload(scale, 42)?;
 
     println!("Fig 4: Scalability of SpatialSpark, runtime (s) vs # of instances (scale {scale})");
     print!("{:<16}", "experiment");
@@ -26,8 +28,8 @@ fn main() {
     println!("{:>14}", "4->10 speedup");
     for exp in Experiment::all() {
         eprintln!("# running {} ...", exp.label());
-        bench::report_memory_gate(&w, exp, &replay);
-        let run = run_spark_warm(&w, exp, threads);
+        bench::report_memory_gate(&w, exp, &replay)?;
+        let run = run_spark_warm(&w, exp, threads)?;
         let times: Vec<f64> = NODES
             .iter()
             .map(|&n| spark_runtime_at_scale(&run, &replay, n))
@@ -40,4 +42,5 @@ fn main() {
         println!("{:>13.2}x", speedup);
     }
     println!("(paper: speedups 1.97x-2.06x going 4->10 nodes, ~80% parallel efficiency)");
+    Ok(())
 }

@@ -9,15 +9,17 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig5 -- [--scale f] [--threads n]`
 
-use bench::{build_workload, ispmc_runtime_at_scale, parse_args, run_ispmc_warm, Experiment};
+use bench::{
+    build_workload, ispmc_runtime_at_scale, parse_args, run_ispmc_warm, BenchError, Experiment,
+};
 
 const NODES: [usize; 4] = [4, 6, 8, 10];
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     let scale = replay.scale;
     eprintln!("# generating workload at scale {scale} ...");
-    let w = build_workload(scale, 42);
+    let w = build_workload(scale, 42)?;
 
     println!("Fig 5: Scalability of ISP-MC, runtime (s) vs # of instances (scale {scale})");
     print!("{:<16}", "experiment");
@@ -27,8 +29,8 @@ fn main() {
     println!("{:>14}{:>12}", "4->10 speedup", "8->10");
     for exp in Experiment::all() {
         eprintln!("# running {} ...", exp.label());
-        bench::report_memory_gate(&w, exp, &replay);
-        let run = run_ispmc_warm(&w, exp, threads);
+        bench::report_memory_gate(&w, exp, &replay)?;
+        let run = run_ispmc_warm(&w, exp, threads)?;
         let times: Vec<f64> = NODES
             .iter()
             .map(|&n| ispmc_runtime_at_scale(&run, &replay, n))
@@ -44,4 +46,5 @@ fn main() {
         );
     }
     println!("(paper: near-linear for all but G10M-wwf, which flattens 8->10 nodes)");
+    Ok(())
 }

@@ -4,16 +4,16 @@
 //!
 //! Usage: `cargo run --release -p bench --bin stage_breakdown -- [--scale f]`
 
-use bench::{build_workload, parse_args, run_ispmc, run_spark, Experiment};
+use bench::{build_workload, parse_args, run_ispmc, run_spark, BenchError, Experiment};
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     let scale = replay.scale;
-    let w = build_workload(scale, 42);
+    let w = build_workload(scale, 42)?;
     for exp in [Experiment::TaxiLion500, Experiment::TaxiNycb] {
         println!("== {} ==", exp.label());
-        let _warmup = run_spark(&w, exp, threads);
-        let spark = run_spark(&w, exp, threads);
+        let _warmup = run_spark(&w, exp, threads)?;
+        let spark = run_spark(&w, exp, threads)?;
         println!("-- SpatialSpark stages --");
         for s in &spark.report.stages {
             println!(
@@ -24,7 +24,7 @@ fn main() {
                 s.broadcast_bytes
             );
         }
-        let ispmc = run_ispmc(&w, exp, threads);
+        let ispmc = run_ispmc(&w, exp, threads)?;
         let m = &ispmc.result.metrics;
         println!("-- ISP-MC --");
         println!(
@@ -51,4 +51,5 @@ fn main() {
             m.result_rows
         );
     }
+    Ok(())
 }

@@ -12,14 +12,14 @@
 
 use bench::{
     build_workload, ispmc_single_node_at_scale, ispmc_standalone_at_scale, parse_args,
-    run_ispmc_warm, run_spark_warm, spark_single_node_at_scale, Experiment,
+    run_ispmc_warm, run_spark_warm, spark_single_node_at_scale, BenchError, Experiment,
 };
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     let scale = replay.scale;
     eprintln!("# generating workload at scale {scale} ...");
-    let w = build_workload(scale, 42);
+    let w = build_workload(scale, 42)?;
 
     println!("Table 1: Runtimes (in seconds) on a single node (scale {scale})");
     println!(
@@ -28,8 +28,8 @@ fn main() {
     );
     for exp in Experiment::all() {
         eprintln!("# running {} ...", exp.label());
-        let spark = run_spark_warm(&w, exp, threads);
-        let ispmc = run_ispmc_warm(&w, exp, threads);
+        let spark = run_spark_warm(&w, exp, threads)?;
+        let ispmc = run_ispmc_warm(&w, exp, threads)?;
         assert_eq!(
             spatialjoin::normalize_pairs(spark.pairs.clone()),
             spatialjoin::normalize_pairs(ispmc.result.pairs.clone()),
@@ -49,4 +49,5 @@ fn main() {
     }
     println!("(paper:      taxi-nycb 682/588/507, taxi-lion-100 696/1061/983,");
     println!("             taxi-lion-500 825/5720/4922, G10M-wwf 2445/12736/11634)");
+    Ok(())
 }

@@ -9,14 +9,14 @@
 
 use bench::{
     build_workload, ispmc_runtime_at_scale, parse_args, run_ispmc_warm, run_spark_warm,
-    spark_runtime_at_scale, Experiment,
+    spark_runtime_at_scale, BenchError, Experiment,
 };
 
-fn main() {
-    let (replay, threads) = parse_args();
+fn main() -> Result<(), BenchError> {
+    let (replay, threads) = parse_args()?;
     let scale = replay.scale;
     eprintln!("# generating workload at scale {scale} ...");
-    let w = build_workload(scale, 42);
+    let w = build_workload(scale, 42)?;
 
     println!("Table 2: Runtimes (in seconds) using 10 EC2 nodes (scale {scale})");
     println!(
@@ -25,12 +25,13 @@ fn main() {
     );
     for exp in Experiment::all() {
         eprintln!("# running {} ...", exp.label());
-        let spark = run_spark_warm(&w, exp, threads);
-        let ispmc = run_ispmc_warm(&w, exp, threads);
+        let spark = run_spark_warm(&w, exp, threads)?;
+        let ispmc = run_ispmc_warm(&w, exp, threads)?;
         let s = spark_runtime_at_scale(&spark, &replay, 10);
         let i = ispmc_runtime_at_scale(&ispmc, &replay, 10);
         println!("{:<16}{:>14.0}{:>12.0}{:>11.1}x", exp.label(), s, i, i / s);
     }
     println!("(paper:      taxi-nycb 110/758, taxi-lion-100 65/307,");
     println!("             taxi-lion-500 249/1785, G10M-wwf 735/7728)");
+    Ok(())
 }

@@ -43,6 +43,45 @@ pub mod paths {
     pub const WWF: &str = "/data/wwf";
 }
 
+/// Harness failure: dataset generation, a system run, or CLI usage.
+///
+/// The binaries return this from `main` instead of panicking, so a
+/// missing path or a bad flag prints one diagnostic line and exits
+/// non-zero rather than unwinding with a backtrace.
+#[derive(Debug)]
+pub enum BenchError {
+    /// DFS or dataset-generation failure.
+    Dfs(minihdfs::DfsError),
+    /// A system-under-test run failed.
+    Join(spatialjoin::SpatialJoinError),
+    /// Bad command-line usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Dfs(e) => write!(f, "bench: dfs: {e}"),
+            BenchError::Join(e) => write!(f, "bench: join: {e}"),
+            BenchError::Usage(msg) => write!(f, "bench: usage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<minihdfs::DfsError> for BenchError {
+    fn from(e: minihdfs::DfsError) -> BenchError {
+        BenchError::Dfs(e)
+    }
+}
+
+impl From<spatialjoin::SpatialJoinError> for BenchError {
+    fn from(e: spatialjoin::SpatialJoinError) -> BenchError {
+        BenchError::Join(e)
+    }
+}
+
 /// A generated benchmark workload.
 pub struct Workload {
     pub dfs: MiniDfs,
@@ -59,52 +98,62 @@ pub const DATANODES: usize = 10;
 /// Left (point) sides are scaled; right sides are full cardinality.
 /// Block size shrinks proportionally so partition counts match the
 /// paper's deployment.
-pub fn build_workload(scale: f64, seed: u64) -> Workload {
+///
+/// # Errors
+/// Propagates DFS configuration and write failures.
+pub fn build_workload(scale: f64, seed: u64) -> Result<Workload, BenchError> {
     let block_size = ((minihdfs::DEFAULT_BLOCK_SIZE as f64 * scale) as usize).max(16 * 1024);
-    let dfs = MiniDfs::new(DATANODES, block_size).expect("valid DFS config");
+    let dfs = MiniDfs::new(DATANODES, block_size)?;
     let s = datagen::Scale(scale);
 
     let taxi = datagen::taxi::geometries(s.apply(datagen::full_size::TAXI), seed);
-    datagen::write_dataset(&dfs, paths::TAXI, &taxi).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::TAXI, &taxi)?;
     drop(taxi);
     let gbif = datagen::gbif::geometries(s.apply(datagen::full_size::G10M), seed);
-    datagen::write_dataset(&dfs, paths::GBIF, &gbif).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::GBIF, &gbif)?;
     drop(gbif);
 
     let nycb = datagen::nycb::geometries(datagen::full_size::NYCB, seed);
-    datagen::write_dataset(&dfs, paths::NYCB, &nycb).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::NYCB, &nycb)?;
     drop(nycb);
     let lion = datagen::lion::geometries(datagen::full_size::LION, seed);
-    datagen::write_dataset(&dfs, paths::LION, &lion).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::LION, &lion)?;
     drop(lion);
     let wwf = datagen::wwf::geometries(datagen::full_size::WWF, seed);
-    datagen::write_dataset(&dfs, paths::WWF, &wwf).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::WWF, &wwf)?;
     drop(wwf);
 
-    Workload { dfs, scale }
+    Ok(Workload { dfs, scale })
 }
 
 /// Builds a workload with reduced right-side cardinalities too — used
 /// by tests and quick runs where generating 14 K detailed ecoregions
 /// would dwarf the join itself.
-pub fn build_small_workload(scale: f64, right_scale: f64, seed: u64) -> Workload {
+///
+/// # Errors
+/// Propagates DFS configuration and write failures.
+pub fn build_small_workload(
+    scale: f64,
+    right_scale: f64,
+    seed: u64,
+) -> Result<Workload, BenchError> {
     let block_size = ((minihdfs::DEFAULT_BLOCK_SIZE as f64 * scale) as usize).max(4 * 1024);
-    let dfs = MiniDfs::new(DATANODES, block_size).expect("valid DFS config");
+    let dfs = MiniDfs::new(DATANODES, block_size)?;
     let s = datagen::Scale(scale);
     let r = datagen::Scale(right_scale);
 
     let taxi = datagen::taxi::geometries(s.apply(datagen::full_size::TAXI), seed);
-    datagen::write_dataset(&dfs, paths::TAXI, &taxi).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::TAXI, &taxi)?;
     let gbif = datagen::gbif::geometries(s.apply(datagen::full_size::G10M), seed);
-    datagen::write_dataset(&dfs, paths::GBIF, &gbif).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::GBIF, &gbif)?;
     let nycb = datagen::nycb::geometries(r.apply(datagen::full_size::NYCB), seed);
-    datagen::write_dataset(&dfs, paths::NYCB, &nycb).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::NYCB, &nycb)?;
     let lion = datagen::lion::geometries(r.apply(datagen::full_size::LION), seed);
-    datagen::write_dataset(&dfs, paths::LION, &lion).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::LION, &lion)?;
     let wwf = datagen::wwf::geometries(r.apply(datagen::full_size::WWF), seed);
-    datagen::write_dataset(&dfs, paths::WWF, &wwf).expect("fresh path");
+    datagen::write_dataset(&dfs, paths::WWF, &wwf)?;
 
-    Workload { dfs, scale }
+    Ok(Workload { dfs, scale })
 }
 
 /// The four experiments of §V.
@@ -176,31 +225,54 @@ impl Experiment {
 /// Runs an experiment through SpatialSpark after one warm-up run (the
 /// first touch of a dataset pays page-fault and allocator-growth costs
 /// that are not part of the system under study).
-pub fn run_spark_warm(w: &Workload, exp: Experiment, threads: usize) -> SpatialSparkRun {
-    let _ = run_spark(w, exp, threads);
+///
+/// # Errors
+/// Propagates run failures (usually a missing dataset path).
+pub fn run_spark_warm(
+    w: &Workload,
+    exp: Experiment,
+    threads: usize,
+) -> Result<SpatialSparkRun, BenchError> {
+    let _ = run_spark(w, exp, threads)?;
     run_spark(w, exp, threads)
 }
 
 /// Runs an experiment through ISP-MC after one warm-up run.
-pub fn run_ispmc_warm(w: &Workload, exp: Experiment, threads: usize) -> IspMcRun {
-    let _ = run_ispmc(w, exp, threads);
+///
+/// # Errors
+/// Propagates run failures (usually a missing dataset path).
+pub fn run_ispmc_warm(
+    w: &Workload,
+    exp: Experiment,
+    threads: usize,
+) -> Result<IspMcRun, BenchError> {
+    let _ = run_ispmc(w, exp, threads)?;
     run_ispmc(w, exp, threads)
 }
 
 /// Runs an experiment through SpatialSpark.
-pub fn run_spark(w: &Workload, exp: Experiment, threads: usize) -> SpatialSparkRun {
+///
+/// # Errors
+/// Propagates run failures (usually a missing dataset path).
+pub fn run_spark(
+    w: &Workload,
+    exp: Experiment,
+    threads: usize,
+) -> Result<SpatialSparkRun, BenchError> {
     let conf = SparkConf {
         app_name: format!("spatialspark:{}", exp.label()),
         threads,
         ..SparkConf::default()
     };
     let sys = SpatialSpark::new(conf, w.dfs.clone());
-    sys.broadcast_spatial_join(exp.left_path(), exp.right_path(), exp.predicate())
-        .expect("workload paths exist")
+    Ok(sys.broadcast_spatial_join(exp.left_path(), exp.right_path(), exp.predicate())?)
 }
 
 /// Runs an experiment through ISP-MC.
-pub fn run_ispmc(w: &Workload, exp: Experiment, threads: usize) -> IspMcRun {
+///
+/// # Errors
+/// Propagates run failures (usually a missing dataset path).
+pub fn run_ispmc(w: &Workload, exp: Experiment, threads: usize) -> Result<IspMcRun, BenchError> {
     let conf = ImpaladConf {
         threads,
         ..ImpaladConf::default()
@@ -212,8 +284,7 @@ pub fn run_ispmc(w: &Workload, exp: Experiment, threads: usize) -> IspMcRun {
         (lname, exp.left_path()),
         (rname, exp.right_path()),
     );
-    sys.spatial_join(lname, rname, exp.predicate())
-        .expect("workload paths exist")
+    Ok(sys.spatial_join(lname, rname, exp.predicate())?)
 }
 
 /// How measured runs are replayed at paper scale.
@@ -381,6 +452,9 @@ pub fn scale_hadoop_metrics(
 
 /// Runs an experiment through a Hadoop-style baseline and returns the
 /// run plus its simulated full-scale runtime on `nodes` nodes.
+///
+/// # Errors
+/// Propagates run failures (usually a missing dataset path).
 pub fn run_hadoop_baseline(
     w: &Workload,
     exp: Experiment,
@@ -388,7 +462,7 @@ pub fn run_hadoop_baseline(
     strategy_is_spatialhadoop: bool,
     replay: &Replay,
     nodes: usize,
-) -> (hadooplet::HadoopJoinRun, f64) {
+) -> Result<(hadooplet::HadoopJoinRun, f64), BenchError> {
     let conf = hadooplet::HadoopConf {
         threads,
         ..hadooplet::HadoopConf::default()
@@ -398,17 +472,19 @@ pub fn run_hadoop_baseline(
         hadooplet::spatialhadoop_join(&mr, exp.left_path(), exp.right_path(), exp.predicate(), 256)
     } else {
         hadooplet::hadoopgis_join(&mr, exp.left_path(), exp.right_path(), exp.predicate(), 256)
-    }
-    .expect("workload paths exist");
+    }?;
     let mut t = scale_hadoop_metrics(&run.metrics, replay).simulate_runtime(&conf, nodes);
     if let Some(pre) = &run.preprocessing {
         t += scale_hadoop_metrics(pre, replay).simulate_runtime(&conf, nodes);
     }
-    (run, t)
+    Ok((run, t))
 }
 
 /// Like [`run_hadoop_baseline`] but excluding any one-time
 /// partitioning job from the reported runtime.
+///
+/// # Errors
+/// Propagates run failures (usually a missing dataset path).
 pub fn run_hadoop_baseline_join_only(
     w: &Workload,
     exp: Experiment,
@@ -416,7 +492,7 @@ pub fn run_hadoop_baseline_join_only(
     strategy_is_spatialhadoop: bool,
     replay: &Replay,
     nodes: usize,
-) -> (hadooplet::HadoopJoinRun, f64) {
+) -> Result<(hadooplet::HadoopJoinRun, f64), BenchError> {
     let conf = hadooplet::HadoopConf {
         threads,
         ..hadooplet::HadoopConf::default()
@@ -426,10 +502,9 @@ pub fn run_hadoop_baseline_join_only(
         hadooplet::spatialhadoop_join(&mr, exp.left_path(), exp.right_path(), exp.predicate(), 256)
     } else {
         hadooplet::hadoopgis_join(&mr, exp.left_path(), exp.right_path(), exp.predicate(), 256)
-    }
-    .expect("workload paths exist");
+    }?;
     let t = scale_hadoop_metrics(&run.metrics, replay).simulate_runtime(&conf, nodes);
-    (run, t)
+    Ok((run, t))
 }
 
 /// Estimates the full-scale in-memory footprint of an experiment:
@@ -437,25 +512,27 @@ pub fn run_hadoop_baseline_join_only(
 /// JVM/engine structures) plus working space. This is what limited the
 /// paper to ≥4 EC2 nodes ("due to the memory limitation of the EC2
 /// instances (15 GB per node)").
-pub fn estimate_memory_footprint(w: &Workload, exp: Experiment, replay: &Replay) -> u64 {
-    let left = w
-        .dfs
-        .stat(exp.left_path())
-        .expect("dataset exists")
-        .total_bytes as f64
-        / replay.scale;
-    let right = w
-        .dfs
-        .stat(exp.right_path())
-        .expect("dataset exists")
-        .total_bytes as f64;
-    ((left + right) * 3.0) as u64
+pub fn estimate_memory_footprint(
+    w: &Workload,
+    exp: Experiment,
+    replay: &Replay,
+) -> Result<u64, BenchError> {
+    let left = w.dfs.stat(exp.left_path())?.total_bytes as f64 / replay.scale;
+    let right = w.dfs.stat(exp.right_path())?.total_bytes as f64;
+    Ok(((left + right) * 3.0) as u64)
 }
 
 /// Prints which node counts of a sweep are infeasible for memory, as
 /// the paper's setup section reports.
-pub fn report_memory_gate(w: &Workload, exp: Experiment, replay: &Replay) {
-    let bytes = estimate_memory_footprint(w, exp, replay);
+///
+/// # Errors
+/// Propagates DFS stat failures.
+pub fn report_memory_gate(
+    w: &Workload,
+    exp: Experiment,
+    replay: &Replay,
+) -> Result<(), BenchError> {
+    let bytes = estimate_memory_footprint(w, exp, replay)?;
     for nodes in 1..=3usize {
         let spec = cluster::ClusterSpec::ec2_with_nodes(nodes);
         if !spec.fits_in_memory(bytes) {
@@ -468,11 +545,15 @@ pub fn report_memory_gate(w: &Workload, exp: Experiment, replay: &Replay) {
             );
         }
     }
+    Ok(())
 }
 
 /// Parses `--scale <f>`, `--threads <n>` and `--calibration <f>` CLI
 /// arguments with defaults.
-pub fn parse_args() -> (Replay, usize) {
+///
+/// # Errors
+/// Returns [`BenchError::Usage`] for unknown flags or unparsable values.
+pub fn parse_args() -> Result<(Replay, usize), BenchError> {
     let mut replay = Replay::new(0.01);
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -482,23 +563,31 @@ pub fn parse_args() -> (Replay, usize) {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" if i + 1 < args.len() => {
-                replay.scale = args[i + 1].parse().expect("--scale takes a float");
+                replay.scale = args[i + 1]
+                    .parse()
+                    .map_err(|_| BenchError::Usage("--scale takes a float".into()))?;
                 i += 2;
             }
             "--calibration" if i + 1 < args.len() => {
-                replay.calibration = args[i + 1].parse().expect("--calibration takes a float");
+                replay.calibration = args[i + 1]
+                    .parse()
+                    .map_err(|_| BenchError::Usage("--calibration takes a float".into()))?;
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
-                threads = args[i + 1].parse().expect("--threads takes an integer");
+                threads = args[i + 1]
+                    .parse()
+                    .map_err(|_| BenchError::Usage("--threads takes an integer".into()))?;
                 i += 2;
             }
             other => {
-                panic!("unknown argument {other}; use --scale <f> --threads <n> --calibration <f>")
+                return Err(BenchError::Usage(format!(
+                    "unknown argument {other}; use --scale <f> --threads <n> --calibration <f>"
+                )));
             }
         }
     }
-    (replay, threads)
+    Ok((replay, threads))
 }
 
 #[cfg(test)]
@@ -520,7 +609,7 @@ mod tests {
 
     #[test]
     fn small_workload_builds_and_joins() {
-        let w = build_small_workload(0.0001, 0.01, 7);
+        let w = build_small_workload(0.0001, 0.01, 7).expect("workload builds");
         for p in [
             paths::TAXI,
             paths::NYCB,
@@ -530,8 +619,8 @@ mod tests {
         ] {
             assert!(w.dfs.exists(p), "{p} missing");
         }
-        let spark = run_spark(&w, Experiment::TaxiNycb, 2);
-        let ispmc = run_ispmc(&w, Experiment::TaxiNycb, 2);
+        let spark = run_spark(&w, Experiment::TaxiNycb, 2).expect("spark runs");
+        let ispmc = run_ispmc(&w, Experiment::TaxiNycb, 2).expect("ispmc runs");
         // Cross-system agreement on the same data.
         assert_eq!(
             spatialjoin::normalize_pairs(spark.pairs.clone()),
@@ -541,8 +630,8 @@ mod tests {
 
     #[test]
     fn scaling_applies_per_stage_factors() {
-        let w = build_small_workload(0.0001, 0.01, 8);
-        let run = run_spark(&w, Experiment::TaxiNycb, 2);
+        let w = build_small_workload(0.0001, 0.01, 8).expect("workload builds");
+        let run = run_spark(&w, Experiment::TaxiNycb, 2).expect("spark runs");
         let replay = Replay {
             scale: 0.1,
             calibration: 2.0,

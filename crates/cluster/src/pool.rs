@@ -132,6 +132,123 @@ where
     (results, timings)
 }
 
+/// Runs `f` over fixed-size morsels (slices of some larger input) on
+/// `threads` threads, concatenating the per-morsel output segments back
+/// in input order.
+///
+/// Unlike [`run_tasks`], the closure appends an arbitrary number of
+/// results per morsel into a thread-local buffer; the driver records
+/// each segment's length and stitches the buffers so the concatenated
+/// output is byte-identical to running the morsels serially. Timings
+/// are per morsel, indexed by morsel position.
+pub fn run_morsels<T, R, F>(
+    morsels: &[&[T]],
+    threads: usize,
+    mode: ScheduleMode,
+    f: F,
+) -> (Vec<R>, Vec<TaskTiming>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], &mut Vec<R>) + Sync,
+{
+    let threads = threads.max(1);
+    let n = morsels.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    if threads == 1 {
+        let mut out = Vec::new();
+        let mut timings = Vec::with_capacity(n);
+        for (index, m) in morsels.iter().enumerate() {
+            let t0 = Instant::now();
+            f(m, &mut out);
+            timings.push(TaskTiming {
+                index,
+                worker: 0,
+                secs: t0.elapsed().as_secs_f64(),
+            });
+        }
+        return (out, timings);
+    }
+
+    let counter = AtomicUsize::new(0);
+    let f_ref = &f;
+    // Each worker returns its output buffer plus, per morsel it ran,
+    // `(morsel index, segment length, secs)`.
+    type Segs = Vec<(usize, usize, f64)>;
+    let mut per_worker: Vec<(Vec<R>, Segs)> = Vec::with_capacity(threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let counter = &counter;
+            handles.push(scope.spawn(move || {
+                let mut buf: Vec<R> = Vec::new();
+                let mut segs: Segs = Vec::with_capacity(n / threads + 1);
+                let mut run = |i: usize, m: &[T]| {
+                    let before = buf.len();
+                    let t0 = Instant::now();
+                    f_ref(m, &mut buf);
+                    segs.push((i, buf.len() - before, t0.elapsed().as_secs_f64()));
+                };
+                match mode {
+                    ScheduleMode::Dynamic => loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        run(i, morsels[i]);
+                    },
+                    ScheduleMode::Static => {
+                        let start = (w * n) / threads;
+                        let end = ((w + 1) * n) / threads;
+                        for i in start..end {
+                            run(i, morsels[i]);
+                        }
+                    }
+                }
+                (buf, segs)
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(local) => per_worker.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Stitch: a worker's morsel indices are strictly increasing under
+    // both modes, so each buffer is already ordered internally; a merge
+    // over `(morsel index → worker, segment length)` drains every
+    // buffer front-to-back without cloning any element.
+    let mut order: Vec<(usize, usize, usize)> = Vec::with_capacity(n); // (index, worker, len)
+    let mut timings = Vec::with_capacity(n);
+    for (w, (_, segs)) in per_worker.iter().enumerate() {
+        for &(index, len, secs) in segs {
+            order.push((index, w, len));
+            timings.push(TaskTiming {
+                index,
+                worker: w,
+                secs,
+            });
+        }
+    }
+    order.sort_unstable_by_key(|&(index, _, _)| index);
+    timings.sort_by_key(|t| t.index);
+    let total: usize = order.iter().map(|&(_, _, len)| len).sum();
+    let mut iters: Vec<std::vec::IntoIter<R>> = per_worker
+        .into_iter()
+        .map(|(buf, _)| buf.into_iter())
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    for (_, w, len) in order {
+        out.extend(iters[w].by_ref().take(len));
+    }
+    (out, timings)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +301,68 @@ mod tests {
         let (r, t) = run_tasks(vec![1, 2, 3], 1, ScheduleMode::Dynamic, |&x| x * 10);
         assert_eq!(r, vec![10, 20, 30]);
         assert!(t.iter().all(|x| x.worker == 0));
+    }
+
+    fn chunked(items: &[u64], size: usize) -> Vec<&[u64]> {
+        items.chunks(size).collect()
+    }
+
+    #[test]
+    fn morsels_concatenate_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().flat_map(|&x| [x * 2, x * 2 + 1]).collect();
+        for mode in [ScheduleMode::Dynamic, ScheduleMode::Static] {
+            for threads in [1, 3, 8] {
+                for size in [1, 7, 128] {
+                    let morsels = chunked(&items, size);
+                    let (out, timings) = run_morsels(&morsels, threads, mode, |m, buf| {
+                        for &x in m {
+                            buf.push(x * 2);
+                            buf.push(x * 2 + 1);
+                        }
+                    });
+                    assert_eq!(out, serial, "mode={mode:?} threads={threads} size={size}");
+                    assert_eq!(timings.len(), morsels.len());
+                    assert!(timings.windows(2).all(|w| w[0].index < w[1].index));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morsels_with_uneven_output_counts() {
+        // Each morsel emits a different number of results (including 0).
+        let items: Vec<u64> = (0..101).collect();
+        let morsels = chunked(&items, 13);
+        let (out, _) = run_morsels(&morsels, 4, ScheduleMode::Dynamic, |m, buf| {
+            for &x in m {
+                for _ in 0..(x % 3) {
+                    buf.push(x);
+                }
+            }
+        });
+        let serial: Vec<u64> = items
+            .iter()
+            .flat_map(|&x| std::iter::repeat(x).take((x % 3) as usize))
+            .collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn morsels_empty_input() {
+        let (out, t) = run_morsels::<u8, u8, _>(&[], 4, ScheduleMode::Static, |_, _| {});
+        assert!(out.is_empty() && t.is_empty());
+    }
+
+    #[test]
+    fn morsels_static_assigns_contiguous_chunks() {
+        let items: Vec<u64> = (0..100).collect();
+        let morsels = chunked(&items, 1);
+        let (_, timings) = run_morsels(&morsels, 4, ScheduleMode::Static, |m, buf| {
+            buf.extend_from_slice(m);
+        });
+        for t in &timings {
+            assert_eq!(t.worker, (t.index * 4) / 100);
+        }
     }
 }

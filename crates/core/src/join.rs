@@ -46,30 +46,15 @@ pub fn probe<E: RefinementEngine>(
     p: Point,
     out: &mut Vec<JoinPair>,
 ) {
-    if let SpatialPredicate::Nearest(d) = predicate {
-        let mut best: Option<(f64, i64)> = None;
-        tree.for_each_within_distance(p, 0.0, |(rid, target)| {
-            let dist = engine.distance(p, target);
-            if dist <= d {
-                let better = match best {
-                    None => true,
-                    Some((bd, bid)) => dist < bd || (dist == bd && *rid < bid),
-                };
-                if better {
-                    best = Some((dist, *rid));
-                }
-            }
-        });
-        if let Some((_, rid)) = best {
-            out.push((left_id, rid));
-        }
-        return;
-    }
-    tree.for_each_within_distance(p, 0.0, |(rid, target)| {
-        if predicate.eval(engine, p, target) {
-            out.push((left_id, *rid));
-        }
-    });
+    rtree::probe_with(
+        tree,
+        predicate,
+        engine,
+        left_id,
+        p,
+        |(rid, t)| (*rid, t),
+        out,
+    );
 }
 
 /// The nearest-neighbour join: for each point, the single nearest right
@@ -195,10 +180,12 @@ pub fn partition_work(
     PartitionedWork { partitions }
 }
 
-/// Runs a partitioned join serially (callers wanting parallelism map
-/// the partitions onto their own tasks). Results are deduplicated: a
-/// right geometry replicated into several cells can only match a point
-/// in the point's unique cell, but dedup keeps the contract obvious.
+/// Runs a partitioned join serially through the morsel executor's
+/// shared [`crate::parallel::PreparedSet`]: each partition task carries
+/// `right_ids` into the set instead of cloning geometry. Results are
+/// deduplicated: a right geometry replicated into several cells can
+/// only match a point in the point's unique cell, but dedup keeps the
+/// contract obvious.
 pub fn partitioned_join<E: RefinementEngine>(
     left: &[PointRecord],
     right: &[GeomRecord],
@@ -206,27 +193,14 @@ pub fn partitioned_join<E: RefinementEngine>(
     engine: &E,
     target_points_per_partition: usize,
 ) -> Vec<JoinPair> {
-    let work = partition_work(left, right, predicate, target_points_per_partition);
-    let mut out = Vec::new();
-    for task in &work.partitions {
-        if task.left.is_empty() || task.right_ids.is_empty() {
-            continue;
-        }
-        let local_right: Vec<GeomRecord> = task
-            .right_ids
-            .iter()
-            .map(|&ri| right[ri as usize].clone())
-            .collect();
-        out.extend(broadcast_index_join(
-            &task.left,
-            &local_right,
-            predicate,
-            engine,
-        ));
-    }
-    out.sort_unstable();
-    out.dedup();
-    out
+    crate::parallel::parallel_partitioned_join(
+        left,
+        right,
+        predicate,
+        engine,
+        target_points_per_partition,
+        crate::parallel::MorselConfig::serial(),
+    )
 }
 
 /// Parses the paper's `id \t wkt` record format into point records,
@@ -239,25 +213,41 @@ pub fn parse_point_records(lines: &[String], geom_col: usize) -> Vec<PointRecord
         .collect()
 }
 
+/// Splits one `id \t … \t wkt` line exactly once, returning the parsed
+/// id and the raw WKT column. The dominant layout (`geom_col == 1`,
+/// the paper's `id \t wkt`) takes a direct fast path; other layouts
+/// skip ahead on the same iterator instead of re-splitting the line.
+#[inline]
+fn split_record(line: &str, geom_col: usize) -> Option<(i64, &str)> {
+    let mut cols = line.split('\t');
+    let id_col = cols.next()?;
+    let id = id_col.trim().parse::<i64>().ok()?;
+    let wkt = match geom_col {
+        0 => id_col,
+        1 => cols.next()?,
+        n => cols.nth(n - 1)?,
+    };
+    Some((id, wkt))
+}
+
 /// Parses one `id \t wkt` line into a point record.
 pub fn parse_point_record(line: &str, geom_col: usize) -> Option<PointRecord> {
-    let mut cols = line.split('\t');
-    let id = cols.next()?.trim().parse::<i64>().ok()?;
-    let wkt = line.split('\t').nth(geom_col)?;
+    let (id, wkt) = split_record(line, geom_col)?;
     let g = geom::wkt::parse(wkt).ok()?;
     g.as_point().map(|p| (id, p))
+}
+
+/// Parses one `id \t wkt` line into a geometry record.
+pub fn parse_geom_record(line: &str, geom_col: usize) -> Option<GeomRecord> {
+    let (id, wkt) = split_record(line, geom_col)?;
+    geom::wkt::parse(wkt).ok().map(|g: Geometry| (id, g))
 }
 
 /// Parses `id \t wkt` lines into geometry records (right side).
 pub fn parse_geom_records(lines: &[String], geom_col: usize) -> Vec<GeomRecord> {
     lines
         .iter()
-        .filter_map(|l| {
-            let mut cols = l.split('\t');
-            let id = cols.next()?.trim().parse::<i64>().ok()?;
-            let wkt = l.split('\t').nth(geom_col)?;
-            geom::wkt::parse(wkt).ok().map(|g: Geometry| (id, g))
-        })
+        .filter_map(|l| parse_geom_record(l, geom_col))
         .collect()
 }
 
@@ -397,6 +387,21 @@ mod tests {
         assert_eq!(pts[1], (2, Point::new(3.0, 4.0)));
         let geoms = parse_geom_records(&lines, 1);
         assert_eq!(geoms.len(), 3); // polygon parses as a geometry
+    }
+
+    #[test]
+    fn record_parsing_honours_geom_column() {
+        // geom_col beyond 1: wkt sits after a payload column.
+        let lines = vec!["7\tpayload\tPOINT (1 2)".to_string()];
+        assert_eq!(
+            parse_point_records(&lines, 2),
+            vec![(7, Point::new(1.0, 2.0))]
+        );
+        // Out-of-range column drops the row rather than panicking.
+        assert!(parse_point_records(&lines, 9).is_empty());
+        // geom_col == 0 is only satisfiable when id and wkt coincide,
+        // which WKT never parses as an i64 — row dropped, not panicked.
+        assert!(parse_point_records(&lines, 0).is_empty());
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   broadcast R-tree indexed join, a spatially partitioned join, and a
 //!   nested-loop baseline. These are the algorithms; the systems below
 //!   wrap them in distributed machinery.
+//! * [`parallel`] — the morsel-driven parallel executor behind both
+//!   systems: the right side prepared once into a shared
+//!   [`PreparedSet`], the left side probed in fixed-size morsels with
+//!   deterministic, serial-identical output.
 //! * [`spark`] — **SpatialSpark**: the join expressed as sparklet
 //!   dataset transformations (the paper's Fig. 2 skeleton), JTS-like
 //!   prepared-geometry refinement, dynamic scheduling.
@@ -24,12 +28,14 @@
 pub mod error;
 pub mod ispmc;
 pub mod join;
+pub mod parallel;
 pub mod spark;
 pub mod trajectory;
 
 pub use error::SpatialJoinError;
 pub use geom::engine::SpatialPredicate;
 pub use ispmc::{IspMc, IspMcRun};
+pub use parallel::{parallel_broadcast_join, parallel_partitioned_join, MorselConfig, PreparedSet};
 pub use spark::{SpatialSpark, SpatialSparkRun};
 
 /// A record ready for joining: id plus parsed geometry.

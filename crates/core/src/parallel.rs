@@ -1,0 +1,383 @@
+//! Morsel-driven parallel join executor with prepare-once geometry
+//! sharing.
+//!
+//! The paper's systems get their speed from running the broadcast
+//! R-tree probe in parallel — dynamic task scheduling on Spark, static
+//! OpenMP-style chunking in Impala (§IV–V). This module is the single
+//! executor behind both: the right side is prepared **once** into a
+//! shared [`PreparedSet`] (ids, expanded envelopes and engine-prepared
+//! geometries, indexed by `u32`), and the left side is probed in
+//! fixed-size morsels handed to [`cluster::run_morsels`] under either
+//! [`ScheduleMode`].
+//!
+//! # Determinism contract
+//!
+//! Output is **bit-identical to the serial path at any thread count**:
+//! the shared tree is bulk-loaded from the same envelope sequence as
+//! the serial [`crate::join::build_right_index`] (STR packing is a
+//! stable sort over envelopes, so the entry permutation and hence
+//! traversal order are identical), and per-morsel output segments are
+//! stitched back in input order by the driver. Scheduling only decides
+//! *who* runs a morsel, never what it appends.
+//!
+//! # Prepare-once memory story
+//!
+//! The partitioned join replicates right geometries into every
+//! partition they overlap. The paper's systems re-read and re-prepare
+//! the replicated fragments per partition task; here a partition task
+//! carries only `right_ids: &[u32]` into the shared set and builds a
+//! subset R-tree over envelope *copies* — zero geometry clones
+//! end-to-end.
+
+use cluster::{run_morsels, run_tasks, ScheduleMode, TaskTiming};
+use geom::engine::{RefinementEngine, SpatialPredicate};
+use geom::{Envelope, HasEnvelope, Point};
+use rtree::{probe_with, RTree};
+
+use crate::join::partition_work;
+use crate::{GeomRecord, JoinPair, PointRecord};
+
+/// Default morsel size: small enough for dynamic scheduling to balance
+/// skewed probe costs, large enough to amortise dispatch overhead.
+pub const DEFAULT_MORSEL_SIZE: usize = 2048;
+
+/// Parallelism settings for the morsel executor.
+#[derive(Debug, Clone, Copy)]
+pub struct MorselConfig {
+    /// Worker threads (1 = serial inline execution).
+    pub threads: usize,
+    /// How morsels are handed to workers.
+    pub mode: ScheduleMode,
+    /// Left points per morsel.
+    pub morsel_size: usize,
+}
+
+impl MorselConfig {
+    /// `threads` workers, dynamic scheduling, default morsel size.
+    pub fn new(threads: usize) -> MorselConfig {
+        MorselConfig {
+            threads: threads.max(1),
+            mode: ScheduleMode::Dynamic,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+
+    /// Single-threaded configuration (the serial reference path).
+    pub fn serial() -> MorselConfig {
+        MorselConfig::new(1)
+    }
+}
+
+impl Default for MorselConfig {
+    fn default() -> MorselConfig {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        MorselConfig::new(threads)
+    }
+}
+
+/// The right side of a join, prepared exactly once and shared by
+/// reference across every morsel, partition task and system layer.
+pub struct PreparedSet<E: RefinementEngine> {
+    ids: Vec<i64>,
+    /// Envelopes already expanded by the predicate's filter radius.
+    envelopes: Vec<Envelope>,
+    prepared: Vec<E::Prepared>,
+    /// Filter tree over `u32` indices into the vectors above.
+    tree: RTree<u32>,
+    predicate: SpatialPredicate,
+}
+
+impl<E: RefinementEngine> PreparedSet<E> {
+    /// Prepares `right` for `predicate`: one `engine.prepare` call per
+    /// geometry, envelopes expanded by the filter radius, and an STR
+    /// tree over the indices (same envelope sequence as the serial
+    /// [`crate::join::build_right_index`], hence the same packing).
+    pub fn prepare(
+        right: &[GeomRecord],
+        predicate: SpatialPredicate,
+        engine: &E,
+    ) -> PreparedSet<E> {
+        let radius = predicate.filter_radius();
+        let mut ids = Vec::with_capacity(right.len());
+        let mut envelopes = Vec::with_capacity(right.len());
+        let mut prepared = Vec::with_capacity(right.len());
+        for (id, g) in right {
+            ids.push(*id);
+            envelopes.push(g.envelope().expanded_by(radius));
+            prepared.push(engine.prepare(g));
+        }
+        let entries: Vec<(Envelope, u32)> = envelopes
+            .iter()
+            .enumerate()
+            .map(|(i, &env)| (env, i as u32))
+            .collect();
+        PreparedSet {
+            ids,
+            envelopes,
+            prepared,
+            tree: RTree::bulk_load_entries(entries),
+            predicate,
+        }
+    }
+
+    /// Number of prepared right-side records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the right side is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The predicate the set was prepared for.
+    pub fn predicate(&self) -> SpatialPredicate {
+        self.predicate
+    }
+
+    /// Probes the shared tree with one point, appending matches.
+    #[inline]
+    pub fn probe_into(&self, engine: &E, left_id: i64, p: Point, out: &mut Vec<JoinPair>) {
+        probe_with(
+            &self.tree,
+            self.predicate,
+            engine,
+            left_id,
+            p,
+            |&i| (self.ids[i as usize], &self.prepared[i as usize]),
+            out,
+        );
+    }
+
+    /// Probes one morsel of left points — the body every worker thread
+    /// runs. Geometry is reached through the shared set by index.
+    pub fn probe_slice(&self, engine: &E, morsel: &[PointRecord], out: &mut Vec<JoinPair>) {
+        // tidy:alloc-free:start
+        for &(id, p) in morsel {
+            self.probe_into(engine, id, p, out);
+        }
+        // tidy:alloc-free:end
+    }
+
+    /// Builds a filter tree over a subset of the right side, given as
+    /// indices into this set. Only envelopes are copied — the prepared
+    /// geometries stay shared.
+    pub fn subset_tree(&self, right_ids: &[u32]) -> RTree<u32> {
+        let entries: Vec<(Envelope, u32)> = right_ids
+            .iter()
+            .map(|&ri| (self.envelopes[ri as usize], ri))
+            .collect();
+        RTree::bulk_load_entries(entries)
+    }
+
+    /// Probes a [`PreparedSet::subset_tree`] with one point.
+    #[inline]
+    pub fn probe_subset(
+        &self,
+        subset: &RTree<u32>,
+        engine: &E,
+        left_id: i64,
+        p: Point,
+        out: &mut Vec<JoinPair>,
+    ) {
+        probe_with(
+            subset,
+            self.predicate,
+            engine,
+            left_id,
+            p,
+            |&i| (self.ids[i as usize], &self.prepared[i as usize]),
+            out,
+        );
+    }
+
+    /// Probes `left` in parallel morsels, returning pairs in the same
+    /// order the serial loop would emit them.
+    pub fn par_probe(&self, left: &[PointRecord], engine: &E, cfg: MorselConfig) -> Vec<JoinPair> {
+        self.par_probe_timed(left, engine, cfg).0
+    }
+
+    /// [`PreparedSet::par_probe`] plus per-morsel wall-clock timings
+    /// (indexed by morsel position), for replay through the cluster
+    /// simulator.
+    pub fn par_probe_timed(
+        &self,
+        left: &[PointRecord],
+        engine: &E,
+        cfg: MorselConfig,
+    ) -> (Vec<JoinPair>, Vec<TaskTiming>) {
+        let morsels: Vec<&[PointRecord]> = left.chunks(cfg.morsel_size.max(1)).collect();
+        run_morsels(&morsels, cfg.threads, cfg.mode, |morsel, out| {
+            self.probe_slice(engine, morsel, out)
+        })
+    }
+}
+
+/// The morsel-parallel broadcast join: prepare the right side once,
+/// probe the left side in parallel. Bit-identical to
+/// [`crate::join::broadcast_index_join`] at any thread count.
+pub fn parallel_broadcast_join<E: RefinementEngine>(
+    left: &[PointRecord],
+    right: &[GeomRecord],
+    predicate: SpatialPredicate,
+    engine: &E,
+    cfg: MorselConfig,
+) -> Vec<JoinPair> {
+    let set = PreparedSet::prepare(right, predicate, engine);
+    set.par_probe(left, engine, cfg)
+}
+
+/// The morsel-parallel partitioned join: partitions carry `right_ids`
+/// into the shared [`PreparedSet`]; each task builds a subset filter
+/// tree over envelope copies and probes its own points. Matches the
+/// serial partitioned join's sorted-deduplicated contract.
+pub fn parallel_partitioned_join<E: RefinementEngine>(
+    left: &[PointRecord],
+    right: &[GeomRecord],
+    predicate: SpatialPredicate,
+    engine: &E,
+    target_points_per_partition: usize,
+    cfg: MorselConfig,
+) -> Vec<JoinPair> {
+    let set = PreparedSet::prepare(right, predicate, engine);
+    let work = partition_work(left, right, predicate, target_points_per_partition);
+    let tasks: Vec<&crate::join::PartitionTask> = work
+        .partitions
+        .iter()
+        .filter(|t| !t.left.is_empty() && !t.right_ids.is_empty())
+        .collect();
+    let (per_task, _) = run_tasks(tasks, cfg.threads, cfg.mode, |task| {
+        let subset = set.subset_tree(&task.right_ids);
+        let mut out = Vec::new();
+        for &(id, p) in &task.left {
+            set.probe_subset(&subset, engine, id, p, &mut out);
+        }
+        out
+    });
+    let mut out: Vec<JoinPair> = per_task.into_iter().flatten().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::broadcast_index_join;
+    use geom::engine::PreparedEngine;
+    use geom::{Geometry, Polygon};
+
+    fn grid_points(n: usize) -> Vec<PointRecord> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push((
+                    (i * n + j) as i64,
+                    Point::new(i as f64 + 0.5, j as f64 + 0.5),
+                ));
+            }
+        }
+        v
+    }
+
+    fn quadrant_polys(half: f64) -> Vec<GeomRecord> {
+        let q = |id, x0: f64, y0: f64| {
+            (
+                id,
+                Geometry::Polygon(Polygon::rectangle(Envelope::new(
+                    x0,
+                    y0,
+                    x0 + half,
+                    y0 + half,
+                ))),
+            )
+        };
+        vec![
+            q(0, 0.0, 0.0),
+            q(1, half, 0.0),
+            q(2, 0.0, half),
+            q(3, half, half),
+        ]
+    }
+
+    #[test]
+    fn parallel_broadcast_is_bit_identical_to_serial() {
+        let left = grid_points(20);
+        let right = quadrant_polys(10.0);
+        let engine = PreparedEngine;
+        let serial = broadcast_index_join(&left, &right, SpatialPredicate::Within, &engine);
+        for threads in [1, 2, 4, 7] {
+            for mode in [ScheduleMode::Dynamic, ScheduleMode::Static] {
+                for morsel_size in [3, 64, 100_000] {
+                    let cfg = MorselConfig {
+                        threads,
+                        mode,
+                        morsel_size,
+                    };
+                    let par = parallel_broadcast_join(
+                        &left,
+                        &right,
+                        SpatialPredicate::Within,
+                        &engine,
+                        cfg,
+                    );
+                    assert_eq!(
+                        par, serial,
+                        "threads={threads} mode={mode:?} morsel={morsel_size}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_partitioned_matches_serial_partitioned() {
+        let left = grid_points(12);
+        let right = quadrant_polys(6.0);
+        let engine = PreparedEngine;
+        let serial =
+            crate::join::partitioned_join(&left, &right, SpatialPredicate::Within, &engine, 10);
+        for threads in [1, 4] {
+            let cfg = MorselConfig::new(threads);
+            let par = parallel_partitioned_join(
+                &left,
+                &right,
+                SpatialPredicate::Within,
+                &engine,
+                10,
+                cfg,
+            );
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn prepared_set_reports_size_and_predicate() {
+        let engine = PreparedEngine;
+        let set = PreparedSet::prepare(&quadrant_polys(2.0), SpatialPredicate::Within, &engine);
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+        assert_eq!(set.predicate(), SpatialPredicate::Within);
+        let empty = PreparedSet::prepare(&[], SpatialPredicate::Within, &engine);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_output() {
+        let engine = PreparedEngine;
+        let cfg = MorselConfig::new(4);
+        assert!(
+            parallel_broadcast_join(&[], &[], SpatialPredicate::Within, &engine, cfg).is_empty()
+        );
+        let left = grid_points(3);
+        assert!(
+            parallel_broadcast_join(&left, &[], SpatialPredicate::Within, &engine, cfg).is_empty()
+        );
+        assert!(
+            parallel_partitioned_join(&[], &[], SpatialPredicate::Within, &engine, 16, cfg)
+                .is_empty()
+        );
+    }
+}

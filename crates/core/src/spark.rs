@@ -20,8 +20,9 @@ use sparklet::{JobReport, SparkConf, SparkContext, StageMetrics};
 use std::time::Instant;
 
 use crate::error::SpatialJoinError;
-use crate::join::{self, parse_geom_records, parse_point_record};
-use crate::{GeomRecord, JoinPair};
+use crate::join::{parse_geom_records, parse_point_record};
+use crate::parallel::PreparedSet;
+use crate::JoinPair;
 
 /// The SpatialSpark system: a spark context plus the join driver.
 pub struct SpatialSpark {
@@ -91,12 +92,12 @@ impl SpatialSpark {
         self.sc.reset_metrics();
         let engine = FlatEngine;
 
-        // --- driver side: collect right, build STR-tree, broadcast ---
+        // --- driver side: collect right, prepare once, broadcast ---
         let right_stat = self.sc.dfs().stat(right_path)?;
         let right_lines = self.sc.dfs().read_all_lines(right_path)?;
         let t0 = Instant::now();
         let right_records = parse_geom_records(&right_lines, 1);
-        let tree = join::build_right_index(&right_records, predicate, &engine);
+        let set = PreparedSet::prepare(&right_records, predicate, &engine);
         let build_secs = t0.elapsed().as_secs_f64();
         self.sc.record_stage(StageMetrics {
             name: "driver:collect+build-strtree".into(),
@@ -104,17 +105,17 @@ impl SpatialSpark {
             broadcast_bytes: 0,
             shuffle_bytes: 0,
         });
-        let broadcast = self.sc.broadcast(tree, right_stat.total_bytes as u64);
+        let broadcast = self.sc.broadcast(set, right_stat.total_bytes as u64);
         self.sc
             .record_movement("broadcast:strtree", broadcast.approx_bytes(), 0);
 
-        // --- executors: parse left, probe the broadcast tree ---
+        // --- executors: parse left, probe the shared prepared set ---
         let left = self.sc.text_file(left_path)?;
         let parsed = left.map("map:parse-wkt", |line: &String| parse_point_record(line, 1));
-        let tree_ref = broadcast.clone();
+        let set_ref = broadcast.clone();
         let pairs_ds = parsed.flat_map_with("flatMap:rtree-probe+refine", move |rec, out| {
             if let Some((id, p)) = rec {
-                join::probe(tree_ref.value(), predicate, &engine, *id, *p, out);
+                set_ref.value().probe_into(&engine, *id, *p, out);
             }
         });
         let pairs = pairs_ds.collect();
@@ -168,6 +169,7 @@ impl SpatialSpark {
         let right_lines = self.sc.dfs().read_all_lines(right_path)?;
         let t0 = Instant::now();
         let right_records = parse_geom_records(&right_lines, 1);
+        let set = PreparedSet::prepare(&right_records, predicate, &engine);
         let all_points: Vec<geom::Point> = parsed
             .collect()
             .into_iter()
@@ -215,23 +217,21 @@ impl SpatialSpark {
         self.sc
             .record_movement("shuffle:replicate-right", 0, replicated_bytes);
 
-        // --- per-cell indexed join ---
-        let right_ref = &right_records;
+        // --- per-cell indexed join over the shared prepared set:
+        // partition tasks carry right-side *indices*, build a subset
+        // filter tree over envelope copies, and never clone geometry ---
+        let set_ref = &set;
         let per_cell_ref = &per_cell_right;
         let pairs_ds = shuffled.map_partitions_indexed(
             "mapPartitions:local-index-join",
             move |cell, records: &[(usize, (i64, geom::Point))]| {
-                let local_right: Vec<GeomRecord> = per_cell_ref[cell]
-                    .iter()
-                    .map(|&ri| right_ref[ri as usize].clone())
-                    .collect();
-                if records.is_empty() || local_right.is_empty() {
+                if records.is_empty() || per_cell_ref[cell].is_empty() {
                     return Vec::new();
                 }
-                let tree = join::build_right_index(&local_right, predicate, &engine);
+                let subset = set_ref.subset_tree(&per_cell_ref[cell]);
                 let mut out = Vec::new();
                 for &(_, (id, p)) in records {
-                    join::probe(&tree, predicate, &engine, id, p, &mut out);
+                    set_ref.probe_subset(&subset, &engine, id, p, &mut out);
                 }
                 out
             },

@@ -35,7 +35,19 @@ const TAG_MULTIPOINT: u8 = 4;
 const TAG_MULTILINESTRING: u8 = 5;
 const TAG_MULTIPOLYGON: u8 = 6;
 
+/// Encodes a geometry to a fresh buffer.
+pub fn encode(geom: &Geometry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(geom.num_points() * 16 + 8);
+    encode_into(geom, &mut out);
+    out
+}
+
 /// Encodes a geometry, appending to `out`.
+///
+/// This is the shuffle/broadcast serialization hot path: one call per
+/// record written, so the writers below only ever append to the
+/// caller's buffer — the single allocation happens in [`encode`].
+// tidy:alloc-free:start
 pub fn encode_into(geom: &Geometry, out: &mut Vec<u8>) {
     match geom {
         Geometry::Point(p) => {
@@ -76,13 +88,6 @@ pub fn encode_into(geom: &Geometry, out: &mut Vec<u8>) {
     }
 }
 
-/// Encodes a geometry to a fresh buffer.
-pub fn encode(geom: &Geometry) -> Vec<u8> {
-    let mut out = Vec::with_capacity(geom.num_points() * 16 + 8);
-    encode_into(geom, &mut out);
-    out
-}
-
 /// Decodes one geometry from the front of `bytes`, returning the
 /// geometry and the number of bytes consumed.
 ///
@@ -116,6 +121,7 @@ fn put_polygon(out: &mut Vec<u8>, poly: &Polygon) {
         put_coords(out, h.coords());
     }
 }
+// tidy:alloc-free:end
 
 struct Cursor<'a> {
     bytes: &'a [u8],

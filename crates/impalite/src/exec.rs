@@ -331,13 +331,16 @@ impl Impalad {
             }
         }
 
-        // --- Probe: static chunking, naive (GEOS-like) refinement ---
-        let (chunk_pairs, probe_timings) = cluster::run_tasks(
-            chunks,
+        // --- Probe: static chunking, naive (GEOS-like) refinement.
+        // Each chunk is one morsel handed to the shared morsel driver;
+        // the WKT parse stays inside the probe so chunk costs keep the
+        // parse-per-row semantics the cost model was calibrated on. ---
+        let chunk_slices: Vec<&[Row]> = chunks.iter().map(|(rows, _)| rows.as_slice()).collect();
+        let (pairs_flat, probe_timings) = cluster::run_morsels(
+            &chunk_slices,
             self.conf.threads,
             ScheduleMode::Static,
-            |(rows, _)| -> Vec<(i64, i64)> {
-                let mut out = Vec::new();
+            |rows, out| {
                 for row in rows {
                     let Ok(g) = geom::wkt::parse(&row.wkt) else {
                         continue;
@@ -345,32 +348,16 @@ impl Impalad {
                     let Some(p) = g.as_point() else { continue };
                     // Entry envelopes were expanded by the radius at
                     // build time; query with radius zero.
-                    if let geom::engine::SpatialPredicate::Nearest(d) = predicate {
-                        let mut best: Option<(f64, i64)> = None;
-                        tree.for_each_within_distance(p, 0.0, |(rid, target)| {
-                            let dist = engine.distance(p, target);
-                            if dist <= d {
-                                let better = match best {
-                                    None => true,
-                                    Some((bd, bid)) => dist < bd || (dist == bd && *rid < bid),
-                                };
-                                if better {
-                                    best = Some((dist, *rid));
-                                }
-                            }
-                        });
-                        if let Some((_, rid)) = best {
-                            out.push((row.id, rid));
-                        }
-                        continue;
-                    }
-                    tree.for_each_within_distance(p, 0.0, |(rid, target)| {
-                        if predicate.eval(&engine, p, target) {
-                            out.push((row.id, *rid));
-                        }
-                    });
+                    rtree::probe_with(
+                        &tree,
+                        predicate,
+                        &engine,
+                        row.id,
+                        p,
+                        |(rid, t)| (*rid, t),
+                        out,
+                    );
                 }
-                out
             },
         );
         let mut probe_batches: Vec<ProbeBatch> = batch_localities
@@ -384,7 +371,7 @@ impl Impalad {
             probe_batches[chunk_batch[t.index]].chunk_costs.push(t.secs);
         }
 
-        let mut pairs: Vec<(i64, i64)> = chunk_pairs.into_iter().flatten().collect();
+        let mut pairs: Vec<(i64, i64)> = pairs_flat;
         if plan.group_count {
             // Hash aggregation at the coordinator: (right id, count).
             let mut counts: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();

@@ -75,6 +75,10 @@ impl<T> GridIndex<T> {
     }
 
     /// Calls `visit` once per item whose envelope intersects `query`.
+    ///
+    /// The probe path reuses the versioned stamp vector allocated at
+    /// build time, so queries themselves never allocate.
+    // tidy:alloc-free:start
     pub fn for_each_intersecting<'a, F: FnMut(&'a T)>(&'a self, query: &Envelope, mut visit: F) {
         if self.items.is_empty() || !self.extent.intersects(query) {
             return;
@@ -106,6 +110,7 @@ impl<T> GridIndex<T> {
             }
         }
     }
+    // tidy:alloc-free:end
 
     /// Collects all items intersecting `query`.
     pub fn query(&self, query: &Envelope) -> Vec<&T> {

@@ -16,11 +16,13 @@
 pub mod dynamic;
 pub mod grid;
 pub mod partitioner;
+pub mod probe;
 pub mod quadtree;
 pub mod str_tree;
 
 pub use dynamic::DynamicRTree;
 pub use grid::GridIndex;
 pub use partitioner::{FixedGridPartitioner, SpatialPartitioner, StrPartitioner};
+pub use probe::probe_with;
 pub use quadtree::QuadTreePartitioner;
 pub use str_tree::RTree;

@@ -1,0 +1,233 @@
+//! Equivalence of the morsel-parallel executor with the serial joins,
+//! on the in-tree `proph` harness plus fixed adversarial cases.
+//!
+//! The contract under test (see `DESIGN.md`): `parallel_broadcast_join`
+//! is **bit-identical** to `broadcast_index_join` — same pairs, same
+//! order — at every thread count, schedule mode and morsel size; and
+//! `parallel_partitioned_join` equals the serial `partitioned_join`
+//! under its sorted-deduplicated contract.
+
+use cluster::ScheduleMode;
+use geom::engine::{PreparedEngine, SpatialPredicate};
+use geom::{Envelope, Geometry, Point, Polygon};
+use proph::{check_with, f64_range, usize_range, vec_of, Config, Gen, GenExt};
+use spatialjoin::join::{broadcast_index_join, partitioned_join};
+use spatialjoin::parallel::{parallel_broadcast_join, parallel_partitioned_join, MorselConfig};
+use spatialjoin::{GeomRecord, PointRecord};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+const MODES: [ScheduleMode; 2] = [ScheduleMode::Dynamic, ScheduleMode::Static];
+const PREDICATES: [SpatialPredicate; 2] =
+    [SpatialPredicate::Within, SpatialPredicate::NearestD(3.0)];
+
+/// Generator: left points in a compact window so joins actually match.
+fn left_points() -> impl Gen<Value = Vec<PointRecord>> {
+    vec_of((f64_range(0.0, 40.0), f64_range(0.0, 40.0)), 0, 120).map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (i as i64, Point::new(x, y)))
+            .collect()
+    })
+}
+
+/// Generator: axis-aligned rectangles as the right side.
+fn right_rects() -> impl Gen<Value = Vec<GeomRecord>> {
+    vec_of(
+        (
+            f64_range(0.0, 35.0),
+            f64_range(0.0, 35.0),
+            f64_range(0.5, 12.0),
+            f64_range(0.5, 12.0),
+        ),
+        0,
+        25,
+    )
+    .map(|rects| {
+        rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| {
+                let env = Envelope::new(x, y, x + w, y + h);
+                (i as i64, Geometry::Polygon(Polygon::rectangle(env)))
+            })
+            .collect()
+    })
+}
+
+fn small_config() -> Config {
+    // Each case sweeps 3 thread counts × 2 modes × 2 predicates, with
+    // real thread spawns — keep the case budget modest.
+    Config {
+        cases: 24,
+        ..Config::default()
+    }
+}
+
+fn assert_broadcast_equivalence(left: &[PointRecord], right: &[GeomRecord], morsel_size: usize) {
+    let engine = PreparedEngine;
+    for predicate in PREDICATES {
+        let serial = broadcast_index_join(left, right, predicate, &engine);
+        for threads in THREAD_COUNTS {
+            for mode in MODES {
+                let cfg = MorselConfig {
+                    threads,
+                    mode,
+                    morsel_size,
+                };
+                let par = parallel_broadcast_join(left, right, predicate, &engine, cfg);
+                assert_eq!(
+                    par, serial,
+                    "broadcast: threads={threads} mode={mode:?} morsel={morsel_size} {predicate:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prop_parallel_broadcast_is_bit_identical_to_serial() {
+    check_with(
+        small_config(),
+        "parallel_broadcast ≡ broadcast_index_join",
+        &(left_points(), right_rects(), usize_range(1, 64)),
+        |(left, right, morsel_size)| {
+            assert_broadcast_equivalence(&left, &right, morsel_size);
+        },
+    );
+}
+
+#[test]
+fn prop_parallel_partitioned_matches_serial() {
+    let cfg = Config {
+        cases: 16,
+        ..Config::default()
+    };
+    check_with(
+        cfg,
+        "parallel_partitioned ≡ partitioned_join",
+        &(left_points(), right_rects(), usize_range(4, 40)),
+        |(left, right, per_partition)| {
+            let engine = PreparedEngine;
+            for predicate in PREDICATES {
+                let serial = partitioned_join(&left, &right, predicate, &engine, per_partition);
+                for threads in THREAD_COUNTS {
+                    for mode in MODES {
+                        let mcfg = MorselConfig {
+                            threads,
+                            mode,
+                            morsel_size: 7,
+                        };
+                        let par = parallel_partitioned_join(
+                            &left,
+                            &right,
+                            predicate,
+                            &engine,
+                            per_partition,
+                            mcfg,
+                        );
+                        assert_eq!(
+                            par, serial,
+                            "partitioned: threads={threads} mode={mode:?} {predicate:?}"
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
+// --- fixed adversarial cases ---
+
+#[test]
+fn empty_sides_are_equivalent() {
+    let some_left = vec![(0i64, Point::new(1.0, 1.0))];
+    let some_right: Vec<GeomRecord> = vec![(
+        0,
+        Geometry::Polygon(Polygon::rectangle(Envelope::new(0.0, 0.0, 2.0, 2.0))),
+    )];
+    assert_broadcast_equivalence(&[], &[], 7);
+    assert_broadcast_equivalence(&some_left, &[], 7);
+    assert_broadcast_equivalence(&[], &some_right, 7);
+}
+
+#[test]
+fn all_points_in_one_cell_are_equivalent() {
+    // Every left point lands in the same partition cell: the skewed
+    // case where static chunking gives one worker all the work.
+    let left: Vec<PointRecord> = (0..200)
+        .map(|i| (i as i64, Point::new(5.0 + (i as f64) * 1e-3, 5.0)))
+        .collect();
+    let right: Vec<GeomRecord> = (0..4)
+        .map(|i| {
+            let x0 = (i as f64) * 2.0;
+            (
+                i as i64,
+                Geometry::Polygon(Polygon::rectangle(Envelope::new(x0, 0.0, x0 + 3.0, 10.0))),
+            )
+        })
+        .collect();
+    assert_broadcast_equivalence(&left, &right, 16);
+
+    let engine = PreparedEngine;
+    let serial = partitioned_join(&left, &right, SpatialPredicate::Within, &engine, 8);
+    for threads in THREAD_COUNTS {
+        let par = parallel_partitioned_join(
+            &left,
+            &right,
+            SpatialPredicate::Within,
+            &engine,
+            8,
+            MorselConfig::new(threads),
+        );
+        assert_eq!(par, serial, "one-cell skew: threads={threads}");
+    }
+}
+
+#[test]
+fn nearest_ties_resolve_identically_in_parallel() {
+    // Equidistant rectangles either side of each point: Nearest must
+    // pick the smaller right id, and NearestD must emit both — in the
+    // same order serially and in parallel.
+    let left: Vec<PointRecord> = (0..64)
+        .map(|i| (i as i64, Point::new(10.0 * i as f64 + 5.0, 5.0)))
+        .collect();
+    let mut right: Vec<GeomRecord> = Vec::new();
+    for i in 0..64i64 {
+        let x = 10.0 * i as f64;
+        // Two 1×10 slabs exactly 4 units left and right of the point.
+        right.push((
+            2 * i + 1,
+            Geometry::Polygon(Polygon::rectangle(Envelope::new(x, 0.0, x + 1.0, 10.0))),
+        ));
+        right.push((
+            2 * i,
+            Geometry::Polygon(Polygon::rectangle(Envelope::new(
+                x + 9.0,
+                0.0,
+                x + 10.0,
+                10.0,
+            ))),
+        ));
+    }
+    let engine = PreparedEngine;
+    for predicate in [
+        SpatialPredicate::Nearest(6.0),
+        SpatialPredicate::NearestD(6.0),
+    ] {
+        let serial = broadcast_index_join(&left, &right, predicate, &engine);
+        for threads in THREAD_COUNTS {
+            for mode in MODES {
+                let cfg = MorselConfig {
+                    threads,
+                    mode,
+                    morsel_size: 5,
+                };
+                let par = parallel_broadcast_join(&left, &right, predicate, &engine, cfg);
+                assert_eq!(
+                    par, serial,
+                    "ties: threads={threads} mode={mode:?} {predicate:?}"
+                );
+            }
+        }
+    }
+}
