@@ -12,6 +12,9 @@
 #                                 single-test-threaded so the executor's
 #                                 own 7-thread pools are the only
 #                                 parallelism in the process
+#   6. schedule-mode ablation     fig4 --ablate at tiny scale; asserts
+#                                 results/BENCH_fig45_ablation.json is
+#                                 produced and well-formed
 #
 # Exit codes:
 #   0  everything passed
@@ -20,6 +23,7 @@
 #   3  release build failed
 #   4  tests failed
 #   5  parallel-join equivalence suite failed
+#   6  schedule-mode ablation failed or wrote a malformed artifact
 set -u
 
 cd "$(dirname "$0")" || exit 2
@@ -38,6 +42,31 @@ cargo test -q || exit 4
 
 echo "ci: parallel-join equivalence (RUST_TEST_THREADS=1, executor threads up to 7)"
 RUST_TEST_THREADS=1 cargo test -q --test parallel_join || exit 5
+
+echo "ci: schedule-mode ablation (fig4 --ablate, tiny scale)"
+rm -f results/BENCH_fig45_ablation.json
+cargo run --release -q -p bench --bin fig4 -- \
+    --scale 0.0005 --right-scale 0.05 --threads 4 --ablate || exit 6
+[ -s results/BENCH_fig45_ablation.json ] || {
+    echo "ci: ablation artifact missing or empty" >&2
+    exit 6
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' || exit 6
+import json
+d = json.load(open("results/BENCH_fig45_ablation.json"))
+assert d["bench"] == "fig45_schedule_ablation", d.get("bench")
+assert len(d["experiments"]) == 4, "expected 4 experiments"
+for e in d["experiments"]:
+    assert e["identical_to_serial"], e["experiment"]
+    assert len(e["cells"]) == 12, e["experiment"]
+print("ci: ablation artifact well-formed")
+EOF
+else
+    # No python3: fall back to a structural grep.
+    grep -q '"bench": "fig45_schedule_ablation"' results/BENCH_fig45_ablation.json || exit 6
+    grep -q '"scheduler": "StaticLocality"' results/BENCH_fig45_ablation.json || exit 6
+fi
 
 echo "ci: ok"
 exit 0

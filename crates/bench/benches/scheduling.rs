@@ -1,53 +1,109 @@
 //! Scheduling ablation behind §V.B-C: dynamic (Spark) vs static
 //! (Impala/OpenMP) scheduling on uniform and skewed task sets, in the
 //! discrete-event replay the end-to-end figures are built on.
+//!
+//! Sweeps scheduler × node count × skew: each task set is simulated on
+//! the paper's 4/6/8/10-node topologies under all three schedulers,
+//! with `StaticLocality` fed a balanced scan-range placement of the
+//! task's partition tag — the same pipeline `fig4 --ablate` drives
+//! with measured morsel costs.
 
 use bench::timing::{BenchId, Harness};
-use cluster::{simulate, ClusterSpec, Scheduler, TaskSpec};
+use cluster::{scan_range_assignment, simulate, ClusterSpec, Scheduler, TaskSpec};
 use std::hint::black_box;
 
-fn uniform(n: usize) -> Vec<TaskSpec> {
-    (0..n).map(|_| TaskSpec::of_cost(1.0)).collect()
+const NODES: [usize; 4] = [4, 6, 8, 10];
+
+/// Tasks plus the partition (block) tag each would carry in the file.
+struct TaskSet {
+    tasks: Vec<TaskSpec>,
+    tags: Vec<usize>,
 }
 
-/// Log-normal-ish heavy tail in contiguous runs, like a spatially
-/// sorted file with hot regions.
-fn skewed(n: usize) -> Vec<TaskSpec> {
-    (0..n)
-        .map(|i| {
-            let hot = (i / 37) % 5 == 0;
-            TaskSpec::of_cost(if hot { 8.0 } else { 0.3 })
+/// Tasks come 16 to an HDFS block, like the ablation's bounded
+/// placement units.
+const BLOCK: usize = 16;
+
+fn uniform(n: usize) -> TaskSet {
+    TaskSet {
+        tasks: (0..n).map(|_| TaskSpec::of_cost(1.0)).collect(),
+        tags: (0..n).map(|i| i / BLOCK).collect(),
+    }
+}
+
+/// One dense contiguous hot region (blocks 40..90 of 256), like a
+/// spatially sorted file whose city centre probes cost 27× the rural
+/// tail. Contiguity is the point: static chunking hands whole slices
+/// of the hot run to one or two nodes, while block-wise locality
+/// placement interleaves it across all of them.
+fn skewed(n: usize) -> TaskSet {
+    TaskSet {
+        tasks: (0..n)
+            .map(|i| {
+                let hot = (40..90).contains(&(i / BLOCK));
+                TaskSpec::of_cost(if hot { 8.0 } else { 0.3 })
+            })
+            .collect(),
+        tags: (0..n).map(|i| i / BLOCK).collect(),
+    }
+}
+
+/// Retags each task with a balanced block → node placement for this
+/// node count (what the ablation does before a locality replay).
+fn placed(set: &TaskSet, nodes: usize) -> Vec<TaskSpec> {
+    let placement = scan_range_assignment(&set.tags, nodes);
+    set.tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TaskSpec {
+            cost: t.cost,
+            locality: placement.get(i).copied(),
         })
         .collect()
 }
 
 fn bench_schedulers(c: &mut Harness) {
-    let spec = ClusterSpec::ec2_paper_cluster();
-    for (label, tasks) in [("uniform", uniform(4096)), ("skewed", skewed(4096))] {
-        let mut group = c.benchmark_group(format!("scheduler-sim/{label}"));
+    for (label, set) in [("uniform", uniform(4096)), ("skewed", skewed(4096))] {
+        for nodes in NODES {
+            let spec = ClusterSpec::ec2_with_nodes(nodes);
+            let tasks = placed(&set, nodes);
+            let mut group = c.benchmark_group(format!("scheduler-sim/{label}/n{nodes}"));
+            for sched in [
+                Scheduler::Dynamic,
+                Scheduler::StaticChunked,
+                Scheduler::StaticLocality,
+            ] {
+                group.bench_function(BenchId::from_parameter(format!("{sched:?}")), |b| {
+                    b.iter(|| simulate(black_box(&tasks), &spec, sched).makespan)
+                });
+            }
+            group.finish();
+        }
+    }
+
+    // Also report the *quality* difference once, as a plain comparison
+    // (the harness measures sim speed; the makespans and imbalance are
+    // the paper-relevant output).
+    let set = skewed(4096);
+    eprintln!("# skewed 4096 tasks, makespan (imbalance) per scheduler x node count:");
+    for nodes in NODES {
+        let spec = ClusterSpec::ec2_with_nodes(nodes);
+        let tasks = placed(&set, nodes);
+        let mut line = format!("#   n={nodes}:");
         for sched in [
             Scheduler::Dynamic,
             Scheduler::StaticChunked,
             Scheduler::StaticLocality,
         ] {
-            group.bench_function(BenchId::from_parameter(format!("{sched:?}")), |b| {
-                b.iter(|| simulate(black_box(&tasks), &spec, sched).makespan)
-            });
+            let r = simulate(&tasks, &spec, sched);
+            line.push_str(&format!(
+                " {sched:?} {:.2}s ({:.3})",
+                r.makespan,
+                r.imbalance()
+            ));
         }
-        group.finish();
+        eprintln!("{line}");
     }
-
-    // Also report the *quality* difference once, as a plain comparison
-    // (the harness measures sim speed; the makespans themselves are the
-    // paper-relevant output).
-    let tasks = skewed(4096);
-    let dynamic = simulate(&tasks, &spec, Scheduler::Dynamic).makespan;
-    let static_ = simulate(&tasks, &spec, Scheduler::StaticChunked).makespan;
-    eprintln!(
-        "# skewed 4096 tasks on 10x8 cores: dynamic {dynamic:.2}s vs static {static_:.2}s \
-         ({:.2}x worse)",
-        static_ / dynamic
-    );
 }
 
 fn main() {

@@ -6,19 +6,45 @@
 //! efficiency around 80% — the fixed per-job and per-stage overheads
 //! keep Spark below linear.
 //!
-//! Usage: `cargo run --release -p bench --bin fig4 -- [--scale f] [--threads n]`
+//! With `--ablate` the binary instead replays *measured* morsel probe
+//! timings (JTS-like prepared refinement, SpatialSpark's path) under
+//! all three schedulers per node count and writes
+//! `results/BENCH_fig45_ablation.json` — the schedule-mode ablation
+//! behind the paper's dynamic-vs-static contrast.
+//!
+//! Usage: `cargo run --release -p bench --bin fig4 -- [--scale f]
+//! [--threads n] [--ablate] [--right-scale f]`
 
-use bench::{
-    build_workload, parse_args, run_spark_warm, spark_runtime_at_scale, BenchError, Experiment,
-};
+use bench::ablation::{ablate_experiment, print_ablation, write_ablation_json};
+use bench::{parse_bench_args, run_spark_warm, spark_runtime_at_scale, BenchError, Experiment};
+use geom::engine::PreparedEngine;
 
 const NODES: [usize; 4] = [4, 6, 8, 10];
 
 fn main() -> Result<(), BenchError> {
-    let (replay, threads) = parse_args()?;
+    let args = parse_bench_args()?;
+    let (replay, threads) = (args.replay, args.threads);
     let scale = replay.scale;
     eprintln!("# generating workload at scale {scale} ...");
-    let w = build_workload(scale, 42)?;
+    let w = args.build_workload(42)?;
+
+    if args.ablate {
+        println!(
+            "Fig 4 ablation: SpatialSpark probe morsels under three schedulers (scale {scale})"
+        );
+        let mut rows = Vec::new();
+        for exp in Experiment::all() {
+            eprintln!("# ablating {} ...", exp.label());
+            let row = ablate_experiment(&w, exp, &PreparedEngine, threads, &replay)?;
+            print_ablation(&row);
+            rows.push(row);
+        }
+        let path = write_ablation_json("fig4", &replay, threads, &rows)
+            .map_err(|e| BenchError::Usage(format!("writing ablation JSON: {e}")))?;
+        println!("(paper §V: static scheduling shows imbalance on skew; dynamic recovers it)");
+        println!("wrote {path}");
+        return Ok(());
+    }
 
     println!("Fig 4: Scalability of SpatialSpark, runtime (s) vs # of instances (scale {scale})");
     print!("{:<16}", "experiment");

@@ -7,19 +7,43 @@
 //! counts because static scheduling cannot rebalance the expensive
 //! ecoregion probes (the paper sees 6357 s → 6257 s going 8→10 nodes).
 //!
-//! Usage: `cargo run --release -p bench --bin fig5 -- [--scale f] [--threads n]`
+//! With `--ablate` the binary instead replays *measured* morsel probe
+//! timings (GEOS-like naive refinement, ISP-MC's path) under all three
+//! schedulers per node count and writes
+//! `results/BENCH_fig45_ablation.json` — quantifying how much of the
+//! static plan's imbalance locality-aware assignment recovers.
+//!
+//! Usage: `cargo run --release -p bench --bin fig5 -- [--scale f]
+//! [--threads n] [--ablate] [--right-scale f]`
 
-use bench::{
-    build_workload, ispmc_runtime_at_scale, parse_args, run_ispmc_warm, BenchError, Experiment,
-};
+use bench::ablation::{ablate_experiment, print_ablation, write_ablation_json};
+use bench::{ispmc_runtime_at_scale, parse_bench_args, run_ispmc_warm, BenchError, Experiment};
+use geom::engine::NaiveEngine;
 
 const NODES: [usize; 4] = [4, 6, 8, 10];
 
 fn main() -> Result<(), BenchError> {
-    let (replay, threads) = parse_args()?;
+    let args = parse_bench_args()?;
+    let (replay, threads) = (args.replay, args.threads);
     let scale = replay.scale;
     eprintln!("# generating workload at scale {scale} ...");
-    let w = build_workload(scale, 42)?;
+    let w = args.build_workload(42)?;
+
+    if args.ablate {
+        println!("Fig 5 ablation: ISP-MC probe morsels under three schedulers (scale {scale})");
+        let mut rows = Vec::new();
+        for exp in Experiment::all() {
+            eprintln!("# ablating {} ...", exp.label());
+            let row = ablate_experiment(&w, exp, &NaiveEngine, threads, &replay)?;
+            print_ablation(&row);
+            rows.push(row);
+        }
+        let path = write_ablation_json("fig5", &replay, threads, &rows)
+            .map_err(|e| BenchError::Usage(format!("writing ablation JSON: {e}")))?;
+        println!("(paper §V: \"some Impala instances take much longer ... than others\")");
+        println!("wrote {path}");
+        return Ok(());
+    }
 
     println!("Fig 5: Scalability of ISP-MC, runtime (s) vs # of instances (scale {scale})");
     print!("{:<16}", "experiment");

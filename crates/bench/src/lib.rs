@@ -25,6 +25,7 @@
 //!    left untouched because the polygon/polyline sides are generated
 //!    at full cardinality.
 
+pub mod ablation;
 pub mod timing;
 
 use cluster::TaskSpec;
@@ -548,46 +549,106 @@ pub fn report_memory_gate(
     Ok(())
 }
 
-/// Parses `--scale <f>`, `--threads <n>` and `--calibration <f>` CLI
-/// arguments with defaults.
+/// Parsed CLI arguments for the figure/table binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    pub replay: Replay,
+    pub threads: usize,
+    /// Run the schedule-mode ablation instead of the plain figure
+    /// (`fig4`/`fig5` only).
+    pub ablate: bool,
+    /// Right-side cardinality fraction (`--right-scale`, default 1.0).
+    /// Below 1.0 the workload is built with
+    /// [`build_small_workload`] — meant for CI-speed ablation runs.
+    pub right_scale: f64,
+}
+
+impl BenchArgs {
+    /// Builds the workload this argument set describes: the full
+    /// right-side cardinalities unless `--right-scale` shrank them.
+    ///
+    /// # Errors
+    /// Propagates DFS configuration and write failures.
+    pub fn build_workload(&self, seed: u64) -> Result<Workload, BenchError> {
+        if self.right_scale < 1.0 {
+            build_small_workload(self.replay.scale, self.right_scale, seed)
+        } else {
+            build_workload(self.replay.scale, seed)
+        }
+    }
+}
+
+/// Parses `--scale <f>`, `--threads <n>`, `--calibration <f>`,
+/// `--ablate` and `--right-scale <f>` CLI arguments with defaults.
 ///
 /// # Errors
 /// Returns [`BenchError::Usage`] for unknown flags or unparsable values.
-pub fn parse_args() -> Result<(Replay, usize), BenchError> {
-    let mut replay = Replay::new(0.01);
-    let mut threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+pub fn parse_bench_args() -> Result<BenchArgs, BenchError> {
+    let mut parsed = BenchArgs {
+        replay: Replay::new(0.01),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        ablate: false,
+        right_scale: 1.0,
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" if i + 1 < args.len() => {
-                replay.scale = args[i + 1]
+                parsed.replay.scale = args[i + 1]
                     .parse()
                     .map_err(|_| BenchError::Usage("--scale takes a float".into()))?;
                 i += 2;
             }
             "--calibration" if i + 1 < args.len() => {
-                replay.calibration = args[i + 1]
+                parsed.replay.calibration = args[i + 1]
                     .parse()
                     .map_err(|_| BenchError::Usage("--calibration takes a float".into()))?;
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
-                threads = args[i + 1]
+                parsed.threads = args[i + 1]
                     .parse()
                     .map_err(|_| BenchError::Usage("--threads takes an integer".into()))?;
                 i += 2;
             }
+            "--right-scale" if i + 1 < args.len() => {
+                parsed.right_scale = args[i + 1]
+                    .parse()
+                    .map_err(|_| BenchError::Usage("--right-scale takes a float".into()))?;
+                i += 2;
+            }
+            "--ablate" => {
+                parsed.ablate = true;
+                i += 1;
+            }
             other => {
                 return Err(BenchError::Usage(format!(
-                    "unknown argument {other}; use --scale <f> --threads <n> --calibration <f>"
+                    "unknown argument {other}; use --scale <f> --threads <n> --calibration <f> \
+                     [--ablate] [--right-scale <f>]"
                 )));
             }
         }
     }
-    Ok((replay, threads))
+    Ok(parsed)
+}
+
+/// [`parse_bench_args`] restricted to the original
+/// `--scale/--threads/--calibration` trio, for binaries without an
+/// ablation mode.
+///
+/// # Errors
+/// Returns [`BenchError::Usage`] for unknown flags or unparsable values.
+pub fn parse_args() -> Result<(Replay, usize), BenchError> {
+    let parsed = parse_bench_args()?;
+    if parsed.ablate || parsed.right_scale != 1.0 {
+        return Err(BenchError::Usage(
+            "--ablate/--right-scale are only supported by fig4 and fig5".into(),
+        ));
+    }
+    Ok((parsed.replay, parsed.threads))
 }
 
 #[cfg(test)]

@@ -25,6 +25,6 @@ pub mod topology;
 
 pub use failure::{simulate_with_recompute, simulate_with_restart, Failure, FailureReport};
 pub use network::NetworkModel;
-pub use pool::{run_morsels, run_tasks, ScheduleMode, TaskTiming};
-pub use sim::{simulate, Scheduler, SimReport, TaskSpec};
+pub use pool::{run_morsels, run_morsels_hinted, run_tasks, ScheduleMode, TaskTiming};
+pub use sim::{scan_range_assignment, simulate, Scheduler, SimReport, TaskSpec};
 pub use topology::ClusterSpec;

@@ -17,6 +17,32 @@ pub enum ScheduleMode {
     Dynamic,
     /// Contiguous chunks assigned up front (OpenMP `schedule(static)`).
     Static,
+    /// Static assignment by a per-item locality hint (Impala's
+    /// scan-range assignment, stood in for by the grid/STR partition of
+    /// the data): item `i` is pre-assigned to worker `hint[i] % threads`.
+    /// Items without a hint — or runs without any hints at all, such as
+    /// [`run_tasks`] and plain [`run_morsels`] — fall back to static
+    /// chunking. Hints are supplied via [`run_morsels_hinted`].
+    StaticLocality,
+}
+
+/// Worker pre-assigned to item `i` of `n` under static chunking — the
+/// exact inverse of the `[w*n/threads, (w+1)*n/threads)` chunk bounds
+/// the static arms iterate, so hint fallback and plain static mode
+/// agree on every item.
+#[inline]
+fn chunk_worker(i: usize, n: usize, threads: usize) -> usize {
+    ((i + 1) * threads).div_ceil(n.max(1)).saturating_sub(1)
+}
+
+/// Worker pre-assigned to item `i` under [`ScheduleMode::StaticLocality`]:
+/// the hinted worker when a hint exists, the static chunk otherwise.
+#[inline]
+fn hinted_worker(i: usize, n: usize, threads: usize, hints: &[usize]) -> usize {
+    match hints.get(i) {
+        Some(&h) => h % threads,
+        None => chunk_worker(i, n, threads),
+    }
 }
 
 /// Measured timing of one item.
@@ -88,13 +114,15 @@ where
                         let r = f_ref(&items_ref[i]);
                         local.push((i, r, t0.elapsed().as_secs_f64()));
                     },
-                    ScheduleMode::Static => {
+                    // run_tasks carries no per-item hints, so locality
+                    // degenerates to its static-chunking fallback.
+                    ScheduleMode::Static | ScheduleMode::StaticLocality => {
                         let start = (w * n) / threads;
                         let end = ((w + 1) * n) / threads;
-                        for (i, item) in items_ref.iter().enumerate().take(end).skip(start) {
+                        for (off, item) in items_ref[start..end].iter().enumerate() {
                             let t0 = Instant::now();
                             let r = f_ref(item);
-                            local.push((i, r, t0.elapsed().as_secs_f64()));
+                            local.push((start + off, r, t0.elapsed().as_secs_f64()));
                         }
                     }
                 }
@@ -143,6 +171,29 @@ where
 /// are per morsel, indexed by morsel position.
 pub fn run_morsels<T, R, F>(
     morsels: &[&[T]],
+    threads: usize,
+    mode: ScheduleMode,
+    f: F,
+) -> (Vec<R>, Vec<TaskTiming>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], &mut Vec<R>) + Sync,
+{
+    run_morsels_hinted(morsels, &[], threads, mode, f)
+}
+
+/// [`run_morsels`] with per-morsel locality hints.
+///
+/// `hints[i]` is morsel `i`'s preferred-worker key (a partition or
+/// block id — any `usize`; it is taken modulo `threads`). Hints only
+/// decide *who* runs a morsel under [`ScheduleMode::StaticLocality`];
+/// output order and content are identical to every other mode. A
+/// `hints` slice shorter than `morsels` (including empty) falls back to
+/// static chunking for the uncovered tail.
+pub fn run_morsels_hinted<T, R, F>(
+    morsels: &[&[T]],
+    hints: &[usize],
     threads: usize,
     mode: ScheduleMode,
     f: F,
@@ -205,6 +256,16 @@ where
                         let end = ((w + 1) * n) / threads;
                         for i in start..end {
                             run(i, morsels[i]);
+                        }
+                    }
+                    // Pre-assigned by hint; indices stay strictly
+                    // increasing per worker, which the stitch below
+                    // relies on.
+                    ScheduleMode::StaticLocality => {
+                        for i in 0..n {
+                            if hinted_worker(i, n, threads, hints) == w {
+                                run(i, morsels[i]);
+                            }
                         }
                     }
                 }
@@ -352,6 +413,81 @@ mod tests {
     fn morsels_empty_input() {
         let (out, t) = run_morsels::<u8, u8, _>(&[], 4, ScheduleMode::Static, |_, _| {});
         assert!(out.is_empty() && t.is_empty());
+    }
+
+    #[test]
+    fn locality_hints_pin_morsels_to_workers() {
+        let items: Vec<u64> = (0..120).collect();
+        let morsels = chunked(&items, 1);
+        // Hint pattern: morsel i prefers worker (i % 3) of 4.
+        let hints: Vec<usize> = (0..morsels.len()).map(|i| i % 3).collect();
+        let (out, timings) = run_morsels_hinted(
+            &morsels,
+            &hints,
+            4,
+            ScheduleMode::StaticLocality,
+            |m, buf| buf.extend_from_slice(m),
+        );
+        assert_eq!(out, items, "locality must not change output order");
+        for t in &timings {
+            assert_eq!(t.worker, hints[t.index] % 4, "morsel {} misplaced", t.index);
+        }
+    }
+
+    #[test]
+    fn locality_without_hints_falls_back_to_static_chunks() {
+        let items: Vec<u64> = (0..103).collect();
+        let morsels = chunked(&items, 1);
+        let n = morsels.len();
+        let (out, timings) = run_morsels(&morsels, 4, ScheduleMode::StaticLocality, |m, buf| {
+            buf.extend_from_slice(m)
+        });
+        assert_eq!(out, items);
+        // Fallback worker must match the static chunk that owns index i.
+        for t in &timings {
+            let w = t.worker;
+            assert!(
+                t.index >= (w * n) / 4 && t.index < ((w + 1) * n) / 4,
+                "index {} outside worker {w}'s static chunk",
+                t.index
+            );
+        }
+    }
+
+    #[test]
+    fn partial_hints_cover_prefix_rest_chunked() {
+        let items: Vec<u64> = (0..60).collect();
+        let morsels = chunked(&items, 2);
+        let hints = vec![1usize; 10]; // only the first 10 morsels hinted
+        let (out, timings) = run_morsels_hinted(
+            &morsels,
+            &hints,
+            3,
+            ScheduleMode::StaticLocality,
+            |m, buf| buf.extend_from_slice(m),
+        );
+        assert_eq!(out, items);
+        for t in timings.iter().filter(|t| t.index < 10) {
+            assert_eq!(t.worker, 1);
+        }
+    }
+
+    #[test]
+    fn locality_output_identical_across_modes() {
+        let items: Vec<u64> = (0..500).collect();
+        let morsels = chunked(&items, 7);
+        let hints: Vec<usize> = (0..morsels.len()).map(|i| (i * 13) % 5).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for threads in [1, 2, 5, 8] {
+            let (out, _) = run_morsels_hinted(
+                &morsels,
+                &hints,
+                threads,
+                ScheduleMode::StaticLocality,
+                |m, buf| buf.extend(m.iter().map(|&x| x * 3)),
+            );
+            assert_eq!(out, serial, "threads={threads}");
+        }
     }
 
     #[test]

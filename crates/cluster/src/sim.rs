@@ -78,6 +78,18 @@ impl SimReport {
 
 /// Replays `tasks` on `spec` under `scheduler`.
 pub fn simulate(tasks: &[TaskSpec], spec: &ClusterSpec, scheduler: Scheduler) -> SimReport {
+    // A zero-node or zero-core spec can run nothing: report the
+    // degenerate shape instead of underflowing the static chunking
+    // arithmetic (mirrors `simulate_dynamic`'s empty-heap `break`).
+    if spec.num_nodes == 0 || spec.cores_per_node == 0 {
+        return finish_report(
+            tasks,
+            spec,
+            0.0,
+            vec![0.0; spec.num_nodes],
+            vec![0; spec.num_nodes],
+        );
+    }
     match scheduler {
         Scheduler::Dynamic => simulate_dynamic(tasks, spec),
         Scheduler::StaticChunked => {
@@ -95,8 +107,51 @@ pub fn simulate(tasks: &[TaskSpec], spec: &ClusterSpec, scheduler: Scheduler) ->
     }
 }
 
+/// Impala-style scan-range assignment: maps each task's partition /
+/// block tag to a node, placing whole partitions (largest first) on
+/// the node with the fewest assigned tasks — the simple-scheduler's
+/// balance-bytes-per-node rule. Tasks sharing a tag always land on the
+/// same node (that is the locality), but *which* node a partition gets
+/// is chosen for load balance, unlike a bare `tag % num_nodes`.
+///
+/// Feed the result into [`TaskSpec::locality`] before a
+/// [`Scheduler::StaticLocality`] replay. Returns an empty vec for a
+/// zero-node spec.
+pub fn scan_range_assignment(tags: &[usize], num_nodes: usize) -> Vec<usize> {
+    if num_nodes == 0 {
+        return Vec::new();
+    }
+    // Count tasks per distinct tag, keeping first-seen order stable.
+    let mut order: Vec<usize> = Vec::new();
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &t in tags {
+        if *counts.entry(t).and_modify(|c| *c += 1).or_insert(1) == 1 {
+            order.push(t);
+        }
+    }
+    // Largest partitions first; ties by first-seen order (stable and
+    // deterministic across runs).
+    let mut ranked: Vec<usize> = order.clone();
+    ranked.sort_by_key(|t| std::cmp::Reverse(counts[t]));
+    let mut node_load = vec![0usize; num_nodes];
+    let mut node_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for tag in ranked {
+        let node = (0..num_nodes)
+            .min_by_key(|&n| (node_load[n], n))
+            .unwrap_or(0);
+        node_load[node] += counts[&tag];
+        node_of.insert(tag, node);
+    }
+    tags.iter().map(|t| node_of[t]).collect()
+}
+
 /// `tasks[i] → node assignment[i]`, contiguous chunks (OpenMP static).
+/// With no nodes there is no assignment at all (the caller reports a
+/// degenerate run rather than dividing by zero here).
 fn chunked_assignment(num_tasks: usize, num_nodes: usize) -> Vec<usize> {
+    if num_nodes == 0 {
+        return Vec::new();
+    }
     (0..num_tasks)
         .map(|i| (i * num_nodes) / num_tasks.max(1))
         .map(|n| n.min(num_nodes - 1))
@@ -141,12 +196,10 @@ fn simulate_static(tasks: &[TaskSpec], spec: &ClusterSpec, assignment: &[usize])
         let cores = spec.cores_per_node;
         let mut core_time = vec![0.0f64; cores];
         for (k, &tid) in ids.iter().enumerate() {
-            // Static chunking: contiguous runs of tasks per core.
-            let core = if ids.is_empty() {
-                0
-            } else {
-                ((k * cores) / ids.len()).min(cores - 1)
-            };
+            // Static chunking: contiguous runs of tasks per core. The
+            // saturating clamp keeps a (guarded-against) zero-core spec
+            // from underflowing rather than panicking.
+            let core = ((k * cores) / ids.len().max(1)).min(cores.saturating_sub(1));
             core_time[core] += tasks[tid].cost;
         }
         node_busy[node] = core_time.iter().sum();
@@ -288,6 +341,59 @@ mod tests {
         let r = simulate(&[TaskSpec::of_cost(3.0)], &spec, Scheduler::Dynamic);
         assert!((r.makespan - 3.0).abs() < 1e-12);
         assert!((r.utilisation - 3.0 / (3.0 * 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_range_assignment_balances_and_pins_partitions() {
+        // Tags 0..4 with wildly different sizes: 8, 4, 2, 1 tasks.
+        let mut tags = Vec::new();
+        for (tag, n) in [(0usize, 8usize), (1, 4), (2, 2), (3, 1)] {
+            tags.extend(std::iter::repeat(tag).take(n));
+        }
+        let assign = scan_range_assignment(&tags, 2);
+        assert_eq!(assign.len(), tags.len());
+        // Same tag -> same node (the locality invariant).
+        for (i, &t) in tags.iter().enumerate() {
+            let first = tags.iter().position(|&u| u == t).unwrap();
+            assert_eq!(assign[i], assign[first]);
+        }
+        // Greedy largest-first: node loads are 8 vs 7, not 12 vs 3.
+        let load0 = assign.iter().filter(|&&n| n == 0).count();
+        let load1 = assign.iter().filter(|&&n| n == 1).count();
+        assert_eq!(load0.max(load1), 8, "loads {load0}/{load1}");
+        // Degenerate inputs.
+        assert!(scan_range_assignment(&tags, 0).is_empty());
+        assert!(scan_range_assignment(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn zero_node_and_zero_core_specs_do_not_panic() {
+        let tasks = uniform(16, 1.0);
+        let no_nodes = ClusterSpec {
+            num_nodes: 0,
+            cores_per_node: 8,
+            mem_per_node: 1 << 30,
+        };
+        let no_cores = ClusterSpec {
+            num_nodes: 4,
+            cores_per_node: 0,
+            mem_per_node: 1 << 30,
+        };
+        for spec in [no_nodes, no_cores] {
+            for sched in [
+                Scheduler::Dynamic,
+                Scheduler::StaticChunked,
+                Scheduler::StaticLocality,
+            ] {
+                let r = simulate(&tasks, &spec, sched);
+                assert_eq!(r.makespan, 0.0, "{sched:?} on {spec:?}");
+                assert_eq!(r.node_busy.len(), spec.num_nodes);
+                assert_eq!(r.node_tasks.iter().sum::<usize>(), 0);
+                assert!((r.utilisation - 1.0).abs() < 1e-12);
+                assert!(r.imbalance().is_finite());
+            }
+        }
+        assert!(chunked_assignment(5, 0).is_empty());
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod trajectory;
 pub use error::SpatialJoinError;
 pub use geom::engine::SpatialPredicate;
 pub use ispmc::{IspMc, IspMcRun};
-pub use parallel::{parallel_broadcast_join, parallel_partitioned_join, MorselConfig, PreparedSet};
+pub use parallel::{
+    morsel_partitions, parallel_broadcast_join, parallel_partitioned_join, partition_blocks,
+    spatial_sort_points, timings_to_taskspecs, MorselConfig, PreparedSet,
+};
 pub use spark::{SpatialSpark, SpatialSparkRun};
 
 /// A record ready for joining: id plus parsed geometry.

@@ -29,7 +29,7 @@
 //! subset R-tree over envelope *copies* — zero geometry clones
 //! end-to-end.
 
-use cluster::{run_morsels, run_tasks, ScheduleMode, TaskTiming};
+use cluster::{run_morsels_hinted, run_tasks, ScheduleMode, TaskSpec, TaskTiming};
 use geom::engine::{RefinementEngine, SpatialPredicate};
 use geom::{Envelope, HasEnvelope, Point};
 use rtree::{probe_with, RTree};
@@ -40,6 +40,126 @@ use crate::{GeomRecord, JoinPair, PointRecord};
 /// Default morsel size: small enough for dynamic scheduling to balance
 /// skewed probe costs, large enough to amortise dispatch overhead.
 pub const DEFAULT_MORSEL_SIZE: usize = 2048;
+
+/// Side of the uniform grid used to derive morsel locality: each morsel
+/// is tagged with its dominant cell on a `SIDE × SIDE` grid over the
+/// left extent. The cell id stands in for the HDFS block / scan-range
+/// id Impala pins tasks to; 16×16 = 256 cells keeps many distinct
+/// "blocks" per node at the paper's 4–10 node counts.
+pub const LOCALITY_GRID_SIDE: usize = 16;
+
+/// Cell of `p` on a `side × side` grid over `extent` (row-major).
+/// Degenerate extents collapse to cell 0.
+fn grid_cell(p: Point, extent: &Envelope, side: usize) -> usize {
+    let w = extent.width();
+    let h = extent.height();
+    let col = if w > 0.0 {
+        (((p.x - extent.min_x) / w * side as f64) as usize).min(side - 1)
+    } else {
+        0
+    };
+    let row = if h > 0.0 {
+        (((p.y - extent.min_y) / h * side as f64) as usize).min(side - 1)
+    } else {
+        0
+    };
+    row * side + col
+}
+
+/// Envelope of the left points (the grid's frame).
+fn points_extent(left: &[PointRecord]) -> Envelope {
+    let mut extent = Envelope::EMPTY;
+    for &(_, p) in left {
+        extent.expand_to(p.x, p.y);
+    }
+    extent
+}
+
+/// Tags each morsel of `left` (chunks of `morsel_size`) with its
+/// **dominant partition**: the grid cell holding the plurality of the
+/// morsel's points, ties to the lower cell id. This is the
+/// preferred-worker/preferred-node hint the locality-aware schedules
+/// consume — the grid partition standing in for HDFS block locality.
+pub fn morsel_partitions(left: &[PointRecord], morsel_size: usize, side: usize) -> Vec<usize> {
+    let side = side.max(1);
+    let extent = points_extent(left);
+    if extent.is_empty() {
+        return Vec::new();
+    }
+    let mut counts = vec![0u32; side * side];
+    let mut out = Vec::with_capacity(left.len().div_ceil(morsel_size.max(1)));
+    for morsel in left.chunks(morsel_size.max(1)) {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &(_, p) in morsel {
+            counts[grid_cell(p, &extent, side)] += 1;
+        }
+        let dominant = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(cell, _)| cell)
+            .unwrap_or(0);
+        out.push(dominant);
+    }
+    out
+}
+
+/// Splits per-morsel partition tags into bounded-size *block* ids.
+///
+/// HDFS blocks have a fixed byte size, so a dense grid cell spans many
+/// blocks that a locality scheduler places independently — it never
+/// pins an arbitrarily hot region to one node wholesale. This renames
+/// each run of equal partition tags into fresh ids, starting a new id
+/// whenever the run reaches `max_block_morsels`. Tags must be in file
+/// (morsel) order; spatially sorted input keeps each block's morsels
+/// within one grid cell, so the block is still a locality unit.
+pub fn partition_blocks(partitions: &[usize], max_block_morsels: usize) -> Vec<usize> {
+    let cap = max_block_morsels.max(1);
+    let mut out = Vec::with_capacity(partitions.len());
+    let mut block = 0usize;
+    let mut run_len = 0usize;
+    let mut prev: Option<usize> = None;
+    for &tag in partitions {
+        if prev.is_some_and(|p| p != tag) || run_len == cap {
+            block += 1;
+            run_len = 0;
+        }
+        prev = Some(tag);
+        run_len += 1;
+        out.push(block);
+    }
+    out
+}
+
+/// Sorts points by their grid cell (stable within a cell), mimicking
+/// the spatially ordered HDFS files the paper's datasets ship as —
+/// this is what makes hot regions *contiguous* in task order, the
+/// precondition for the static-chunking imbalance of §V.
+pub fn spatial_sort_points(left: &mut [PointRecord], side: usize) {
+    let side = side.max(1);
+    let extent = points_extent(left);
+    if extent.is_empty() {
+        return;
+    }
+    left.sort_by_key(|&(_, p)| grid_cell(p, &extent, side));
+}
+
+/// Converts measured per-morsel timings plus their dominant-partition
+/// tags into simulator task specs: `cost` is the measured wall-clock,
+/// `locality` the partition id (the simulator maps it onto a node with
+/// `partition % num_nodes`). Timings are emitted in morsel (input)
+/// order; a missing tag yields a task with no locality preference.
+pub fn timings_to_taskspecs(timings: &[TaskTiming], partitions: &[usize]) -> Vec<TaskSpec> {
+    let mut ordered: Vec<&TaskTiming> = timings.iter().collect();
+    ordered.sort_by_key(|t| t.index);
+    ordered
+        .into_iter()
+        .map(|t| TaskSpec {
+            cost: t.secs,
+            locality: partitions.get(t.index).copied(),
+        })
+        .collect()
+}
 
 /// Parallelism settings for the morsel executor.
 #[derive(Debug, Clone, Copy)]
@@ -208,10 +328,41 @@ impl<E: RefinementEngine> PreparedSet<E> {
         engine: &E,
         cfg: MorselConfig,
     ) -> (Vec<JoinPair>, Vec<TaskTiming>) {
+        // Locality mode needs the per-morsel hints; the other modes
+        // skip the tagging pass entirely.
+        let hints = if cfg.mode == ScheduleMode::StaticLocality {
+            morsel_partitions(left, cfg.morsel_size.max(1), LOCALITY_GRID_SIDE)
+        } else {
+            Vec::new()
+        };
         let morsels: Vec<&[PointRecord]> = left.chunks(cfg.morsel_size.max(1)).collect();
-        run_morsels(&morsels, cfg.threads, cfg.mode, |morsel, out| {
+        run_morsels_hinted(&morsels, &hints, cfg.threads, cfg.mode, |morsel, out| {
             self.probe_slice(engine, morsel, out)
         })
+    }
+
+    /// [`PreparedSet::par_probe_timed`] plus each morsel's dominant
+    /// partition tag — everything the scheduling-ablation replay needs:
+    /// feed `(timings, partitions)` to [`timings_to_taskspecs`] and the
+    /// result to `cluster::simulate` under any [`cluster::Scheduler`].
+    pub fn par_probe_tagged(
+        &self,
+        left: &[PointRecord],
+        engine: &E,
+        cfg: MorselConfig,
+    ) -> (Vec<JoinPair>, Vec<TaskTiming>, Vec<usize>) {
+        let partitions = morsel_partitions(left, cfg.morsel_size.max(1), LOCALITY_GRID_SIDE);
+        let morsels: Vec<&[PointRecord]> = left.chunks(cfg.morsel_size.max(1)).collect();
+        let hints = if cfg.mode == ScheduleMode::StaticLocality {
+            partitions.as_slice()
+        } else {
+            &[]
+        };
+        let (pairs, timings) =
+            run_morsels_hinted(&morsels, hints, cfg.threads, cfg.mode, |morsel, out| {
+                self.probe_slice(engine, morsel, out)
+            });
+        (pairs, timings, partitions)
     }
 }
 
@@ -362,6 +513,142 @@ mod tests {
         assert_eq!(set.predicate(), SpatialPredicate::Within);
         let empty = PreparedSet::prepare(&[], SpatialPredicate::Within, &engine);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn locality_mode_is_bit_identical_to_serial() {
+        let left = grid_points(20);
+        let right = quadrant_polys(10.0);
+        let engine = PreparedEngine;
+        let serial = broadcast_index_join(&left, &right, SpatialPredicate::Within, &engine);
+        for threads in [1, 2, 7] {
+            for morsel_size in [16, 500] {
+                let cfg = MorselConfig {
+                    threads,
+                    mode: ScheduleMode::StaticLocality,
+                    morsel_size,
+                };
+                let par =
+                    parallel_broadcast_join(&left, &right, SpatialPredicate::Within, &engine, cfg);
+                assert_eq!(par, serial, "threads={threads} morsel={morsel_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn morsel_partitions_tag_dominant_cell() {
+        // Two clusters far apart: morsels made purely of one cluster
+        // must carry different tags.
+        let mut left: Vec<PointRecord> = (0..64)
+            .map(|i| (i, Point::new(0.1 + (i % 8) as f64 * 0.01, 0.1)))
+            .collect();
+        left.extend((64..128).map(|i| (i, Point::new(99.0 + (i % 8) as f64 * 0.01, 99.0))));
+        let tags = morsel_partitions(&left, 64, LOCALITY_GRID_SIDE);
+        assert_eq!(tags.len(), 2);
+        assert_ne!(
+            tags[0], tags[1],
+            "distant clusters must map to distinct cells"
+        );
+        // Degenerate inputs.
+        assert!(morsel_partitions(&[], 64, LOCALITY_GRID_SIDE).is_empty());
+        let single = vec![(0i64, Point::new(3.0, 4.0))];
+        assert_eq!(morsel_partitions(&single, 8, LOCALITY_GRID_SIDE), vec![0]);
+    }
+
+    #[test]
+    fn partition_blocks_bound_runs_and_respect_cell_edges() {
+        // A hot cell (six tags of 7) must split into blocks of <= 2;
+        // cell boundaries always start a new block.
+        let tags = [7, 7, 7, 7, 7, 7, 3, 3, 9];
+        let blocks = partition_blocks(&tags, 2);
+        assert_eq!(blocks, vec![0, 0, 1, 1, 2, 2, 3, 3, 4]);
+        // Each block stays within one original partition.
+        for b in 0..=4usize {
+            let cells: Vec<usize> = tags
+                .iter()
+                .zip(&blocks)
+                .filter(|&(_, &blk)| blk == b)
+                .map(|(&t, _)| t)
+                .collect();
+            assert!(cells.windows(2).all(|w| w[0] == w[1]));
+        }
+        assert!(partition_blocks(&[], 4).is_empty());
+        // cap 0 behaves as cap 1 rather than looping or panicking.
+        assert_eq!(partition_blocks(&[5, 5, 5], 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn spatial_sort_groups_cells_and_keeps_ids() {
+        let mut pts: Vec<PointRecord> = (0..100)
+            .map(|i| {
+                let x = ((i * 37) % 100) as f64;
+                let y = ((i * 53) % 100) as f64;
+                (i as i64, Point::new(x, y))
+            })
+            .collect();
+        let mut ids_before: Vec<i64> = pts.iter().map(|&(id, _)| id).collect();
+        spatial_sort_points(&mut pts, 4);
+        let mut ids_after: Vec<i64> = pts.iter().map(|&(id, _)| id).collect();
+        ids_before.sort_unstable();
+        ids_after.sort_unstable();
+        assert_eq!(ids_before, ids_after, "sort must be a permutation");
+        // Cells must appear in non-decreasing runs.
+        let extent = points_extent(&pts);
+        let cells: Vec<usize> = pts.iter().map(|&(_, p)| grid_cell(p, &extent, 4)).collect();
+        assert!(cells.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn timings_bridge_orders_by_index_and_carries_locality() {
+        let timings = vec![
+            cluster::TaskTiming {
+                index: 2,
+                worker: 0,
+                secs: 0.3,
+            },
+            cluster::TaskTiming {
+                index: 0,
+                worker: 1,
+                secs: 0.1,
+            },
+            cluster::TaskTiming {
+                index: 1,
+                worker: 0,
+                secs: 0.2,
+            },
+        ];
+        let partitions = vec![7usize, 9];
+        let specs = timings_to_taskspecs(&timings, &partitions);
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].cost, 0.1);
+        assert_eq!(specs[0].locality, Some(7));
+        assert_eq!(specs[1].locality, Some(9));
+        // No tag for morsel 2: no locality preference.
+        assert_eq!(specs[2].locality, None);
+        assert_eq!(specs[2].cost, 0.3);
+    }
+
+    #[test]
+    fn tagged_probe_matches_untimed_probe() {
+        let left = grid_points(12);
+        let right = quadrant_polys(6.0);
+        let engine = PreparedEngine;
+        let set = PreparedSet::prepare(&right, SpatialPredicate::Within, &engine);
+        for mode in [
+            ScheduleMode::Dynamic,
+            ScheduleMode::Static,
+            ScheduleMode::StaticLocality,
+        ] {
+            let cfg = MorselConfig {
+                threads: 4,
+                mode,
+                morsel_size: 10,
+            };
+            let plain = set.par_probe(&left, &engine, cfg);
+            let (tagged, timings, partitions) = set.par_probe_tagged(&left, &engine, cfg);
+            assert_eq!(plain, tagged, "{mode:?}");
+            assert_eq!(timings.len(), partitions.len(), "{mode:?}");
+        }
     }
 
     #[test]

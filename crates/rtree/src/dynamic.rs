@@ -15,6 +15,35 @@ enum NodeBody {
     Inner(Vec<usize>), // child node ids
 }
 
+impl NodeBody {
+    /// Child node ids; empty for leaves, so callers need no match arm
+    /// for the "wrong" variant.
+    fn children(&self) -> &[usize] {
+        match self {
+            NodeBody::Inner(children) => children,
+            NodeBody::Leaf(_) => &[],
+        }
+    }
+
+    /// Takes the entry ids out of a leaf, leaving it empty; inner
+    /// nodes yield no entries.
+    fn take_leaf_entries(&mut self) -> Vec<u32> {
+        match self {
+            NodeBody::Leaf(entries) => std::mem::take(entries),
+            NodeBody::Inner(_) => Vec::new(),
+        }
+    }
+
+    /// Takes the child ids out of an inner node, leaving it empty;
+    /// leaves yield no children.
+    fn take_inner_children(&mut self) -> Vec<usize> {
+        match self {
+            NodeBody::Inner(children) => std::mem::take(children),
+            NodeBody::Leaf(_) => Vec::new(),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     env: Envelope,
@@ -95,46 +124,44 @@ impl<T> DynamicRTree<T> {
             return None;
         }
 
-        // Choose the child needing the least enlargement.
-        let child = {
-            let NodeBody::Inner(children) = &self.nodes[node_id].body else {
-                unreachable!()
-            };
-            *children
-                .iter()
-                .min_by(|&&a, &&b| {
-                    let ea = enlargement(&self.nodes[a].env, &env);
-                    let eb = enlargement(&self.nodes[b].env, &env);
-                    ea.total_cmp(&eb).then_with(|| {
-                        self.nodes[a]
-                            .env
-                            .area()
-                            .total_cmp(&self.nodes[b].env.area())
-                    })
+        // Choose the child needing the least enlargement. A childless
+        // inner node cannot arise from insertion, but the accessor
+        // keeps the path infallible: with nothing to descend into,
+        // nothing splits.
+        let Some(child) = self.nodes[node_id]
+            .body
+            .children()
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let ea = enlargement(&self.nodes[a].env, &env);
+                let eb = enlargement(&self.nodes[b].env, &env);
+                ea.total_cmp(&eb).then_with(|| {
+                    self.nodes[a]
+                        .env
+                        .area()
+                        .total_cmp(&self.nodes[b].env.area())
                 })
-                .expect("inner nodes always have children")
+            })
+        else {
+            return None;
         };
 
         if let Some((left, right)) = self.insert_rec(child, entry, env) {
-            let NodeBody::Inner(children) = &mut self.nodes[node_id].body else {
-                unreachable!()
-            };
-            children.retain(|&c| c != child);
-            children.push(left);
-            children.push(right);
-            if children.len() > MAX_ENTRIES {
-                return Some(self.split_inner(node_id));
+            if let NodeBody::Inner(children) = &mut self.nodes[node_id].body {
+                children.retain(|&c| c != child);
+                children.push(left);
+                children.push(right);
+                if children.len() > MAX_ENTRIES {
+                    return Some(self.split_inner(node_id));
+                }
             }
         }
         None
     }
 
     fn split_leaf(&mut self, node_id: usize) -> (usize, usize) {
-        let NodeBody::Leaf(entries) =
-            std::mem::replace(&mut self.nodes[node_id].body, NodeBody::Leaf(Vec::new()))
-        else {
-            unreachable!()
-        };
+        let entries = self.nodes[node_id].body.take_leaf_entries();
         let envs: Vec<Envelope> = entries.iter().map(|&e| self.items[e as usize].0).collect();
         let (ga, gb) = quadratic_partition(&envs);
         let (a_ids, a_env) = collect_group(&entries, &envs, &ga);
@@ -152,11 +179,7 @@ impl<T> DynamicRTree<T> {
     }
 
     fn split_inner(&mut self, node_id: usize) -> (usize, usize) {
-        let NodeBody::Inner(children) =
-            std::mem::replace(&mut self.nodes[node_id].body, NodeBody::Inner(Vec::new()))
-        else {
-            unreachable!()
-        };
+        let children = self.nodes[node_id].body.take_inner_children();
         let envs: Vec<Envelope> = children.iter().map(|&c| self.nodes[c].env).collect();
         let (ga, gb) = quadratic_partition(&envs);
         let a_children: Vec<usize> = ga.iter().map(|&i| children[i]).collect();
@@ -254,7 +277,9 @@ fn collect_group(entries: &[u32], envs: &[Envelope], group: &[usize]) -> (Vec<u3
 /// respecting the minimum fill.
 fn quadratic_partition(envs: &[Envelope]) -> (Vec<usize>, Vec<usize>) {
     let n = envs.len();
-    debug_assert!(n >= 2);
+    if n < 2 {
+        return ((0..n).collect(), Vec::new());
+    }
     let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..n {
         for j in i + 1..n {

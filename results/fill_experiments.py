@@ -62,6 +62,35 @@ def fault_summary():
     return "\n" + "\n".join("  - " + re.sub(r"\s+", " ", l).strip() for l in lines)
 
 
+def ablation_rows():
+    """REPLACE_ABL_* values from results/BENCH_fig45_ablation.json."""
+    import json
+
+    keys = {
+        "REPLACE_ABL_DYNAMIC": "Dynamic",
+        "REPLACE_ABL_CHUNKED": "StaticChunked",
+        "REPLACE_ABL_LOCALITY": "StaticLocality",
+    }
+    path = root / "results" / "BENCH_fig45_ablation.json"
+    if not path.exists():
+        return {k: "n/a (run fig4/fig5 --ablate)" for k in [*keys, "REPLACE_ABL_IDENTICAL"]}
+    data = json.loads(path.read_text())
+    skewed = [e for e in data["experiments"]
+              if e["experiment"] in ("taxi-lion-500", "G10M-wwf")]
+    out = {}
+    for placeholder, sched in keys.items():
+        parts = []
+        for e in skewed:
+            imb = [c["imbalance"] for c in e["cells"]
+                   if c["scheduler"] == sched and c["nodes"] == 10]
+            if imb:
+                parts.append(f'{imb[0]:.2f} ({e["experiment"]})')
+        out[placeholder] = ", ".join(parts) if parts else "n/a"
+    identical = all(e["identical_to_serial"] for e in data["experiments"])
+    out["REPLACE_ABL_IDENTICAL"] = "yes, all experiments" if identical else "NO — diverged"
+    return out
+
+
 repl = {
     "REPLACE_JTS_NYCB": jts_row("taxi10k-nycb"),
     "REPLACE_JTS_WWF": jts_row("gbif10k-wwf"),
@@ -77,6 +106,7 @@ repl = {
     "REPLACE_FIG5_SUMMARY": fig_summary("fig5"),
     "REPLACE_BASELINES": baselines_summary(),
     "REPLACE_FAULT": fault_summary(),
+    **ablation_rows(),
 }
 for k, v in repl.items():
     exp = exp.replace(k, v)

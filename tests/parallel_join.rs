@@ -16,7 +16,11 @@ use spatialjoin::parallel::{parallel_broadcast_join, parallel_partitioned_join, 
 use spatialjoin::{GeomRecord, PointRecord};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
-const MODES: [ScheduleMode; 2] = [ScheduleMode::Dynamic, ScheduleMode::Static];
+const MODES: [ScheduleMode; 3] = [
+    ScheduleMode::Dynamic,
+    ScheduleMode::Static,
+    ScheduleMode::StaticLocality,
+];
 const PREDICATES: [SpatialPredicate; 2] =
     [SpatialPredicate::Within, SpatialPredicate::NearestD(3.0)];
 
