@@ -15,6 +15,8 @@
 #   6. schedule-mode ablation     fig4 --ablate at tiny scale; asserts
 #                                 results/BENCH_fig45_ablation.json is
 #                                 produced and well-formed
+#   7. obs stats artifact         same run's results/BENCH_obs_stats.json
+#                                 carries coherent observability counters
 #
 # Exit codes:
 #   0  everything passed
@@ -24,6 +26,7 @@
 #   4  tests failed
 #   5  parallel-join equivalence suite failed
 #   6  schedule-mode ablation failed or wrote a malformed artifact
+#   7  obs stats artifact missing or malformed
 set -u
 
 cd "$(dirname "$0")" || exit 2
@@ -44,7 +47,7 @@ echo "ci: parallel-join equivalence (RUST_TEST_THREADS=1, executor threads up to
 RUST_TEST_THREADS=1 cargo test -q --test parallel_join || exit 5
 
 echo "ci: schedule-mode ablation (fig4 --ablate, tiny scale)"
-rm -f results/BENCH_fig45_ablation.json
+rm -f results/BENCH_fig45_ablation.json results/BENCH_obs_stats.json
 cargo run --release -q -p bench --bin fig4 -- \
     --scale 0.0005 --right-scale 0.05 --threads 4 --ablate || exit 6
 [ -s results/BENCH_fig45_ablation.json ] || {
@@ -66,6 +69,31 @@ else
     # No python3: fall back to a structural grep.
     grep -q '"bench": "fig45_schedule_ablation"' results/BENCH_fig45_ablation.json || exit 6
     grep -q '"scheduler": "StaticLocality"' results/BENCH_fig45_ablation.json || exit 6
+fi
+
+echo "ci: obs stats artifact (results/BENCH_obs_stats.json)"
+[ -s results/BENCH_obs_stats.json ] || {
+    echo "ci: obs stats artifact missing or empty" >&2
+    exit 7
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' || exit 7
+import json
+d = json.load(open("results/BENCH_obs_stats.json"))
+assert d["bench"] == "obs_stats", d.get("bench")
+assert len(d["experiments"]) == 4, "expected 4 experiments"
+for e in d["experiments"]:
+    c = e["counters"]
+    assert c["refine_calls"] >= e["result_pairs"], e["experiment"]
+    assert c["filter_hits"] >= c["refine_accepts"], e["experiment"]
+    assert c["records_parsed"] > 0, e["experiment"]
+    assert c["morsels_executed"] == e["morsels"], e["experiment"]
+    assert len(e["morsel_stats"]) == e["morsels"], e["experiment"]
+print("ci: obs stats artifact well-formed")
+EOF
+else
+    grep -q '"bench": "obs_stats"' results/BENCH_obs_stats.json || exit 7
+    grep -q '"refine_calls"' results/BENCH_obs_stats.json || exit 7
 fi
 
 echo "ci: ok"

@@ -100,6 +100,7 @@ fn replay(timings: &[cluster::TaskTiming], threads: usize, mode: ScheduleMode) -
     let scheduler = match mode {
         ScheduleMode::Dynamic => Scheduler::Dynamic,
         ScheduleMode::Static => Scheduler::StaticChunked,
+        ScheduleMode::StaticLocality => Scheduler::StaticLocality,
     };
     cluster::simulate(&tasks, &spec, scheduler).makespan
 }
@@ -108,6 +109,7 @@ fn mode_name(mode: ScheduleMode) -> &'static str {
     match mode {
         ScheduleMode::Dynamic => "dynamic",
         ScheduleMode::Static => "static",
+        ScheduleMode::StaticLocality => "static-locality",
     }
 }
 

@@ -63,6 +63,17 @@ pub struct AblationCell {
     pub utilisation: f64,
 }
 
+/// One measured morsel of the serial reference pass.
+#[derive(Debug, Clone, Copy)]
+pub struct MorselStat {
+    /// Morsel index in left-input order.
+    pub index: usize,
+    /// Dominant grid partition (the morsel's simulated HDFS block).
+    pub partition: usize,
+    /// Intrinsic cost: the minimum over the measurement passes.
+    pub secs: f64,
+}
+
 /// A full scheduler × node-count grid for one experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentAblation {
@@ -74,6 +85,12 @@ pub struct ExperimentAblation {
     /// Whether every schedule mode reproduced the serial output
     /// bit-identically (asserted, but recorded too).
     pub identical_to_serial: bool,
+    /// Driver-visible obs counter delta over parsing plus one serial
+    /// measurement pass (the reference execution the replay is built
+    /// from).
+    pub stats: obs::Counters,
+    /// Per-morsel measurements, in morsel (input) order.
+    pub morsel_stats: Vec<MorselStat>,
     pub cells: Vec<AblationCell>,
 }
 
@@ -104,6 +121,10 @@ pub fn ablate_experiment<E: RefinementEngine>(
     threads: usize,
     replay: &Replay,
 ) -> Result<ExperimentAblation, BenchError> {
+    // Counter window: parsing plus the first (reference) measurement
+    // pass below. The pool wrappers fold worker counts back into this
+    // thread, so the snapshot delta is exact at any thread count.
+    let before = obs::thread_snapshot();
     let left_lines = w.dfs.read_all_lines(exp.left_path())?;
     let right_lines = w.dfs.read_all_lines(exp.right_path())?;
     let mut left = parse_point_records(&left_lines, 1);
@@ -134,6 +155,7 @@ pub fn ablate_experiment<E: RefinementEngine>(
         morsel_size,
     };
     let (pairs, mut timings, partitions) = set.par_probe_tagged(&left, engine, measure_cfg);
+    let stats = obs::thread_snapshot().minus(&before);
     let serial = &pairs;
 
     // Per-morsel minimum over three passes: at small scales a morsel
@@ -168,6 +190,16 @@ pub fn ablate_experiment<E: RefinementEngine>(
         "{}: a schedule mode diverged from the serial join output",
         exp.label()
     );
+
+    // Per-morsel measurements in input order, for the obs artifact.
+    let morsel_stats: Vec<MorselStat> = timings
+        .iter()
+        .map(|t| MorselStat {
+            index: t.index,
+            partition: partitions.get(t.index).copied().unwrap_or(0),
+            secs: t.secs,
+        })
+        .collect();
 
     // Measured morsel costs -> simulator tasks at full scale, in
     // morsel (input) order, each tagged with its dominant partition.
@@ -215,6 +247,8 @@ pub fn ablate_experiment<E: RefinementEngine>(
         morsels: tasks.len(),
         result_pairs: pairs.len(),
         identical_to_serial: identical,
+        stats,
+        morsel_stats,
         cells,
     })
 }
@@ -315,6 +349,69 @@ pub fn write_ablation_json(
     Ok(path)
 }
 
+/// Serialises the observability side of the ablation rows as
+/// `results/BENCH_obs_stats.json`: per experiment, the driver-visible
+/// counter delta of the serial reference pass plus every measured
+/// morsel (index, partition, seconds). Returns the path written.
+pub fn write_obs_stats_json(
+    figure: &str,
+    replay: &Replay,
+    threads: usize,
+    rows: &[ExperimentAblation],
+) -> std::io::Result<&'static str> {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"obs_stats\",");
+    let _ = writeln!(json, "  \"figure\": \"{figure}\",");
+    let _ = writeln!(json, "  \"scale\": {},", replay.scale);
+    let _ = writeln!(json, "  \"calibration\": {},", replay.calibration);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"counters = obs thread-snapshot delta over parsing + one serial \
+         reference pass; morsel_stats = measured per-morsel minimum costs in input order\","
+    );
+    let _ = writeln!(json, "  \"experiments\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"experiment\": \"{}\",", row.experiment);
+        let _ = writeln!(json, "      \"morsels\": {},", row.morsels);
+        let _ = writeln!(json, "      \"result_pairs\": {},", row.result_pairs);
+        let _ = writeln!(json, "      \"counters\": {{");
+        let fields = row.stats.fields();
+        for (j, (name, value)) in fields.iter().enumerate() {
+            let comma = if j + 1 == fields.len() { "" } else { "," };
+            let _ = writeln!(json, "        \"{name}\": {value}{comma}");
+        }
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"morsel_stats\": [");
+        for (j, m) in row.morsel_stats.iter().enumerate() {
+            let comma = if j + 1 == row.morsel_stats.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                json,
+                "        {{\"index\": {}, \"partition\": {}, \"secs\": {:.9}}}{comma}",
+                m.index, m.partition, m.secs
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_obs_stats.json"
+    );
+    std::fs::write(path, &json)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +440,18 @@ mod tests {
             row.cells.len(),
             ABLATION_NODES.len() * ABLATION_SCHEDULERS.len()
         );
+        // The reference pass's counter delta covers parsing and the
+        // whole probe: every emitted pair passed refinement, every
+        // morsel was executed and counted.
+        assert!(row.stats.refine_calls >= row.result_pairs as u64);
+        assert!(row.stats.records_parsed > 0);
+        assert_eq!(row.stats.morsels_executed as usize, row.morsels);
+        assert_eq!(row.morsel_stats.len(), row.morsels);
+        assert!(row
+            .morsel_stats
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.index == i && m.secs >= 0.0));
         assert!(row.cells.iter().all(|c| c.runtime_secs.is_finite()));
         assert!(row
             .cells

@@ -15,7 +15,9 @@
 //! Usage: `cargo run --release -p bench --bin fig4 -- [--scale f]
 //! [--threads n] [--ablate] [--right-scale f]`
 
-use bench::ablation::{ablate_experiment, print_ablation, write_ablation_json};
+use bench::ablation::{
+    ablate_experiment, print_ablation, write_ablation_json, write_obs_stats_json,
+};
 use bench::{parse_bench_args, run_spark_warm, spark_runtime_at_scale, BenchError, Experiment};
 use geom::engine::PreparedEngine;
 
@@ -41,8 +43,11 @@ fn main() -> Result<(), BenchError> {
         }
         let path = write_ablation_json("fig4", &replay, threads, &rows)
             .map_err(|e| BenchError::Usage(format!("writing ablation JSON: {e}")))?;
+        let obs_path = write_obs_stats_json("fig4", &replay, threads, &rows)
+            .map_err(|e| BenchError::Usage(format!("writing obs stats JSON: {e}")))?;
         println!("(paper §V: static scheduling shows imbalance on skew; dynamic recovers it)");
         println!("wrote {path}");
+        println!("wrote {obs_path}");
         return Ok(());
     }
 

@@ -16,7 +16,9 @@
 //! Usage: `cargo run --release -p bench --bin fig5 -- [--scale f]
 //! [--threads n] [--ablate] [--right-scale f]`
 
-use bench::ablation::{ablate_experiment, print_ablation, write_ablation_json};
+use bench::ablation::{
+    ablate_experiment, print_ablation, write_ablation_json, write_obs_stats_json,
+};
 use bench::{ispmc_runtime_at_scale, parse_bench_args, run_ispmc_warm, BenchError, Experiment};
 use geom::engine::NaiveEngine;
 
@@ -40,8 +42,11 @@ fn main() -> Result<(), BenchError> {
         }
         let path = write_ablation_json("fig5", &replay, threads, &rows)
             .map_err(|e| BenchError::Usage(format!("writing ablation JSON: {e}")))?;
+        let obs_path = write_obs_stats_json("fig5", &replay, threads, &rows)
+            .map_err(|e| BenchError::Usage(format!("writing obs stats JSON: {e}")))?;
         println!("(paper §V: \"some Impala instances take much longer ... than others\")");
         println!("wrote {path}");
+        println!("wrote {obs_path}");
         return Ok(());
     }
 

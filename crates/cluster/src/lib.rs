@@ -25,6 +25,9 @@ pub mod topology;
 
 pub use failure::{simulate_with_recompute, simulate_with_restart, Failure, FailureReport};
 pub use network::NetworkModel;
-pub use pool::{run_morsels, run_morsels_hinted, run_tasks, ScheduleMode, TaskTiming};
+pub use pool::{
+    run_morsels, run_morsels_hinted, run_morsels_hinted_observed, run_morsels_observed, run_tasks,
+    run_tasks_observed, ScheduleMode, TaskTiming,
+};
 pub use sim::{scan_range_assignment, simulate, Scheduler, SimReport, TaskSpec};
 pub use topology::ClusterSpec;

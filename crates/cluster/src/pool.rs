@@ -56,11 +56,30 @@ pub struct TaskTiming {
     pub secs: f64,
 }
 
+/// The obs dispatch label for a schedule mode. Items are charged to the
+/// *requested* mode even where the implementation degenerates (locality
+/// without hints, the single-thread inline path), so counters are
+/// identical across thread counts.
+fn dispatch_mode(mode: ScheduleMode) -> obs::DispatchMode {
+    match mode {
+        ScheduleMode::Dynamic => obs::DispatchMode::Dynamic,
+        ScheduleMode::Static => obs::DispatchMode::Static,
+        ScheduleMode::StaticLocality => obs::DispatchMode::StaticLocality,
+    }
+}
+
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// Runs `f` over `items` on `threads` threads, returning the results in
 /// input order together with per-item timings.
 ///
 /// The closure runs on multiple threads, hence `Sync`; results are
-/// collected per worker and stitched back in order.
+/// collected per worker and stitched back in order. Worker-side obs
+/// counters are folded into the calling thread's cells; use
+/// [`run_tasks_observed`] to receive them explicitly instead.
 pub fn run_tasks<T, R, F>(
     items: Vec<T>,
     threads: usize,
@@ -72,37 +91,73 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let (results, timings, exec) = run_tasks_observed(items, threads, mode, f);
+    obs::add_thread(&exec.worker_counters);
+    (results, timings)
+}
+
+/// [`run_tasks`] returning an [`obs::ExecStats`]: the scoped workers'
+/// counters (zero on the inline single-thread path, where counts land in
+/// the calling thread's cells) plus per-worker busy/wait accounting.
+pub fn run_tasks_observed<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    mode: ScheduleMode,
+    f: F,
+) -> (Vec<R>, Vec<TaskTiming>, obs::ExecStats)
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let threads = threads.max(1);
     let n = items.len();
+    let dmode = dispatch_mode(mode);
     if n == 0 {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), obs::ExecStats::default());
     }
     // Single-threaded fast path keeps the measurement overhead obvious.
     if threads == 1 {
         let mut results = Vec::with_capacity(n);
         let mut timings = Vec::with_capacity(n);
+        let mut busy_ns: u64 = 0;
         for (index, item) in items.iter().enumerate() {
             let t0 = Instant::now();
             results.push(f(item));
+            let elapsed = t0.elapsed();
+            busy_ns = busy_ns.saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+            obs::morsel(dmode);
             timings.push(TaskTiming {
                 index,
                 worker: 0,
-                secs: t0.elapsed().as_secs_f64(),
+                secs: elapsed.as_secs_f64(),
             });
         }
-        return (results, timings);
+        let exec = obs::ExecStats {
+            worker_counters: obs::Counters::default(),
+            workers: vec![obs::WorkerStats {
+                worker: 0,
+                items: n as u64,
+                busy_ns,
+                wait_ns: 0,
+            }],
+        };
+        return (results, timings, exec);
     }
 
     let counter = AtomicUsize::new(0);
     let items_ref = &items;
     let f_ref = &f;
     let mut per_worker: Vec<Vec<(usize, R, f64)>> = Vec::with_capacity(threads);
+    let mut exec = obs::ExecStats::default();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
             let counter = &counter;
             handles.push(scope.spawn(move || {
+                let wall0 = Instant::now();
+                let mut busy_ns: u64 = 0;
                 let mut local: Vec<(usize, R, f64)> = Vec::with_capacity(n / threads + 1);
                 match mode {
                     ScheduleMode::Dynamic => loop {
@@ -112,7 +167,11 @@ where
                         }
                         let t0 = Instant::now();
                         let r = f_ref(&items_ref[i]);
-                        local.push((i, r, t0.elapsed().as_secs_f64()));
+                        let elapsed = t0.elapsed();
+                        busy_ns =
+                            busy_ns.saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+                        obs::morsel(dmode);
+                        local.push((i, r, elapsed.as_secs_f64()));
                     },
                     // run_tasks carries no per-item hints, so locality
                     // degenerates to its static-chunking fallback.
@@ -122,16 +181,33 @@ where
                         for (off, item) in items_ref[start..end].iter().enumerate() {
                             let t0 = Instant::now();
                             let r = f_ref(item);
-                            local.push((start + off, r, t0.elapsed().as_secs_f64()));
+                            let elapsed = t0.elapsed();
+                            busy_ns = busy_ns
+                                .saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+                            obs::morsel(dmode);
+                            local.push((start + off, r, elapsed.as_secs_f64()));
                         }
                     }
                 }
-                local
+                let wall_ns = elapsed_ns(wall0);
+                let stats = obs::WorkerStats {
+                    worker: w,
+                    items: local.len() as u64,
+                    busy_ns,
+                    wait_ns: wall_ns.saturating_sub(busy_ns),
+                };
+                // Fresh scoped threads start with zeroed cells, so the
+                // drain is exactly what this worker accumulated.
+                (local, stats, obs::take_thread())
             }));
         }
         for h in handles {
             match h.join() {
-                Ok(local) => per_worker.push(local),
+                Ok((local, stats, counters)) => {
+                    per_worker.push(local);
+                    exec.workers.push(stats);
+                    exec.worker_counters = exec.worker_counters.plus(&counters);
+                }
                 // A worker panicking is a bug in the caller's closure;
                 // surface it on the driver thread with the same message.
                 Err(payload) => std::panic::resume_unwind(payload),
@@ -157,7 +233,7 @@ where
     timings.sort_by_key(|t| t.index);
     indexed.sort_by_key(|&(index, _)| index);
     let results = indexed.into_iter().map(|(_, r)| r).collect();
-    (results, timings)
+    (results, timings, exec)
 }
 
 /// Runs `f` over fixed-size morsels (slices of some larger input) on
@@ -183,6 +259,22 @@ where
     run_morsels_hinted(morsels, &[], threads, mode, f)
 }
 
+/// [`run_morsels`] returning an [`obs::ExecStats`] (see
+/// [`run_tasks_observed`] for the collection contract).
+pub fn run_morsels_observed<T, R, F>(
+    morsels: &[&[T]],
+    threads: usize,
+    mode: ScheduleMode,
+    f: F,
+) -> (Vec<R>, Vec<TaskTiming>, obs::ExecStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], &mut Vec<R>) + Sync,
+{
+    run_morsels_hinted_observed(morsels, &[], threads, mode, f)
+}
+
 /// [`run_morsels`] with per-morsel locality hints.
 ///
 /// `hints[i]` is morsel `i`'s preferred-worker key (a partition or
@@ -203,24 +295,57 @@ where
     R: Send,
     F: Fn(&[T], &mut Vec<R>) + Sync,
 {
+    let (out, timings, exec) = run_morsels_hinted_observed(morsels, hints, threads, mode, f);
+    obs::add_thread(&exec.worker_counters);
+    (out, timings)
+}
+
+/// [`run_morsels_hinted`] returning an [`obs::ExecStats`] (see
+/// [`run_tasks_observed`] for the collection contract).
+pub fn run_morsels_hinted_observed<T, R, F>(
+    morsels: &[&[T]],
+    hints: &[usize],
+    threads: usize,
+    mode: ScheduleMode,
+    f: F,
+) -> (Vec<R>, Vec<TaskTiming>, obs::ExecStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], &mut Vec<R>) + Sync,
+{
     let threads = threads.max(1);
     let n = morsels.len();
+    let dmode = dispatch_mode(mode);
     if n == 0 {
-        return (Vec::new(), Vec::new());
+        return (Vec::new(), Vec::new(), obs::ExecStats::default());
     }
     if threads == 1 {
         let mut out = Vec::new();
         let mut timings = Vec::with_capacity(n);
+        let mut busy_ns: u64 = 0;
         for (index, m) in morsels.iter().enumerate() {
             let t0 = Instant::now();
             f(m, &mut out);
+            let elapsed = t0.elapsed();
+            busy_ns = busy_ns.saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+            obs::morsel(dmode);
             timings.push(TaskTiming {
                 index,
                 worker: 0,
-                secs: t0.elapsed().as_secs_f64(),
+                secs: elapsed.as_secs_f64(),
             });
         }
-        return (out, timings);
+        let exec = obs::ExecStats {
+            worker_counters: obs::Counters::default(),
+            workers: vec![obs::WorkerStats {
+                worker: 0,
+                items: n as u64,
+                busy_ns,
+                wait_ns: 0,
+            }],
+        };
+        return (out, timings, exec);
     }
 
     let counter = AtomicUsize::new(0);
@@ -229,19 +354,26 @@ where
     // `(morsel index, segment length, secs)`.
     type Segs = Vec<(usize, usize, f64)>;
     let mut per_worker: Vec<(Vec<R>, Segs)> = Vec::with_capacity(threads);
+    let mut exec = obs::ExecStats::default();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for w in 0..threads {
             let counter = &counter;
             handles.push(scope.spawn(move || {
+                let wall0 = Instant::now();
+                let mut busy_ns: u64 = 0;
                 let mut buf: Vec<R> = Vec::new();
                 let mut segs: Segs = Vec::with_capacity(n / threads + 1);
                 let mut run = |i: usize, m: &[T]| {
                     let before = buf.len();
                     let t0 = Instant::now();
                     f_ref(m, &mut buf);
-                    segs.push((i, buf.len() - before, t0.elapsed().as_secs_f64()));
+                    let elapsed = t0.elapsed();
+                    busy_ns =
+                        busy_ns.saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+                    obs::morsel(dmode);
+                    segs.push((i, buf.len() - before, elapsed.as_secs_f64()));
                 };
                 match mode {
                     ScheduleMode::Dynamic => loop {
@@ -269,12 +401,24 @@ where
                         }
                     }
                 }
-                (buf, segs)
+                drop(run);
+                let wall_ns = elapsed_ns(wall0);
+                let stats = obs::WorkerStats {
+                    worker: w,
+                    items: segs.len() as u64,
+                    busy_ns,
+                    wait_ns: wall_ns.saturating_sub(busy_ns),
+                };
+                (buf, segs, stats, obs::take_thread())
             }));
         }
         for h in handles {
             match h.join() {
-                Ok(local) => per_worker.push(local),
+                Ok((buf, segs, stats, counters)) => {
+                    per_worker.push((buf, segs));
+                    exec.workers.push(stats);
+                    exec.worker_counters = exec.worker_counters.plus(&counters);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -307,7 +451,7 @@ where
     for (_, w, len) in order {
         out.extend(iters[w].by_ref().take(len));
     }
-    (out, timings)
+    (out, timings, exec)
 }
 
 #[cfg(test)]

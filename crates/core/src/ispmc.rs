@@ -55,6 +55,12 @@ impl IspMcRun {
     pub fn total_work(&self) -> f64 {
         self.result.metrics.total_work()
     }
+
+    /// The run's measured fragments as an [`obs::RunStats`] tree
+    /// (scan/build/probe children with their seconds and byte counts).
+    pub fn run_stats(&self) -> obs::RunStats {
+        self.result.metrics.to_run_stats()
+    }
 }
 
 impl IspMc {
@@ -174,6 +180,9 @@ mod tests {
         assert_eq!(run.pair_count(), 100);
         assert!(run.standalone_runtime() <= run.simulated_runtime(1));
         assert!(run.sql.contains("ST_WITHIN"));
+        let stats = run.run_stats();
+        assert_eq!(stats.name, "ispmc");
+        assert!(stats.total_counters().row_batches >= 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! GEOS-like refinement — the comparison at the heart of §V.B.
 
 use geom::engine::{RefinementEngine, SpatialPredicate};
-use geom::{Envelope, Geometry, HasEnvelope, Point};
+use geom::{Envelope, HasEnvelope, Point};
 use rtree::{QuadTreePartitioner, RTree};
 
 use crate::{GeomRecord, JoinPair, PointRecord};
@@ -59,53 +59,50 @@ pub fn probe<E: RefinementEngine>(
 
 /// The nearest-neighbour join: for each point, the single nearest right
 /// geometry within `max_distance` (ties broken by the smaller id).
+/// Thin wrapper over [`crate::JoinRequest`].
 pub fn nearest_join<E: RefinementEngine>(
     left: &[PointRecord],
     right: &[GeomRecord],
     max_distance: f64,
     engine: &E,
 ) -> Vec<JoinPair> {
-    broadcast_index_join(left, right, SpatialPredicate::Nearest(max_distance), engine)
+    crate::JoinRequest::new(left, right, engine)
+        .nearest(max_distance)
+        .run()
+        .pairs
 }
 
 /// The serial indexed broadcast join: index the right side, probe with
-/// every left point.
+/// every left point. Thin wrapper over [`crate::JoinRequest`] (the
+/// shared-set executor emits pairs bit-identical to a
+/// [`build_right_index`]+[`probe`] loop); use the request directly to
+/// also get the run's `obs::RunStats`.
 pub fn broadcast_index_join<E: RefinementEngine>(
     left: &[PointRecord],
     right: &[GeomRecord],
     predicate: SpatialPredicate,
     engine: &E,
 ) -> Vec<JoinPair> {
-    let tree = build_right_index(right, predicate, engine);
-    let mut out = Vec::new();
-    for &(id, p) in left {
-        probe(&tree, predicate, engine, id, p, &mut out);
-    }
-    out
+    crate::JoinRequest::new(left, right, engine)
+        .predicate(predicate)
+        .run()
+        .pairs
 }
 
 /// The naïve O(|L|·|R|) cross-join-then-filter baseline of §II, kept for
-/// correctness cross-checks and the indexing ablation bench.
+/// correctness cross-checks and the indexing ablation bench. Thin
+/// wrapper over [`crate::JoinRequest`].
 pub fn nested_loop_join<E: RefinementEngine>(
     left: &[PointRecord],
     right: &[GeomRecord],
     predicate: SpatialPredicate,
     engine: &E,
 ) -> Vec<JoinPair> {
-    let radius = predicate.filter_radius();
-    let prepared: Vec<(i64, Envelope, E::Prepared)> = right
-        .iter()
-        .map(|(id, g)| (*id, g.envelope().expanded_by(radius), engine.prepare(g)))
-        .collect();
-    let mut out = Vec::new();
-    for &(lid, p) in left {
-        for (rid, env, target) in &prepared {
-            if env.contains(p.x, p.y) && predicate.eval(engine, p, target) {
-                out.push((lid, *rid));
-            }
-        }
-    }
-    out
+    crate::JoinRequest::new(left, right, engine)
+        .predicate(predicate)
+        .nested_loop()
+        .run()
+        .pairs
 }
 
 /// A spatially partitioned join (the SpatialHadoop/HadoopGIS strategy
@@ -193,69 +190,45 @@ pub fn partitioned_join<E: RefinementEngine>(
     engine: &E,
     target_points_per_partition: usize,
 ) -> Vec<JoinPair> {
-    crate::parallel::parallel_partitioned_join(
-        left,
-        right,
-        predicate,
-        engine,
-        target_points_per_partition,
-        crate::parallel::MorselConfig::serial(),
-    )
+    crate::JoinRequest::new(left, right, engine)
+        .predicate(predicate)
+        .partitioned(target_points_per_partition)
+        .run()
+        .pairs
 }
 
 /// Parses the paper's `id \t wkt` record format into point records,
 /// dropping malformed rows (the `Try(...).filter(_.isSuccess)` of
-/// Fig. 2).
+/// Fig. 2). Compatibility shim over [`crate::RecordReader`], kept for
+/// one release — the reader reports *why* a line was dropped.
 pub fn parse_point_records(lines: &[String], geom_col: usize) -> Vec<PointRecord> {
-    lines
-        .iter()
-        .filter_map(|l| parse_point_record(l, geom_col))
-        .collect()
+    crate::RecordReader::new(geom_col).read_points(lines).0
 }
 
-/// Splits one `id \t … \t wkt` line exactly once, returning the parsed
-/// id and the raw WKT column. The dominant layout (`geom_col == 1`,
-/// the paper's `id \t wkt`) takes a direct fast path; other layouts
-/// skip ahead on the same iterator instead of re-splitting the line.
-#[inline]
-fn split_record(line: &str, geom_col: usize) -> Option<(i64, &str)> {
-    let mut cols = line.split('\t');
-    let id_col = cols.next()?;
-    let id = id_col.trim().parse::<i64>().ok()?;
-    let wkt = match geom_col {
-        0 => id_col,
-        1 => cols.next()?,
-        n => cols.nth(n - 1)?,
-    };
-    Some((id, wkt))
-}
-
-/// Parses one `id \t wkt` line into a point record.
+/// Parses one `id \t wkt` line into a point record. Compatibility shim
+/// over [`crate::RecordReader`], kept for one release.
 pub fn parse_point_record(line: &str, geom_col: usize) -> Option<PointRecord> {
-    let (id, wkt) = split_record(line, geom_col)?;
-    let g = geom::wkt::parse(wkt).ok()?;
-    g.as_point().map(|p| (id, p))
+    crate::RecordReader::new(geom_col).read_point(line).ok()
 }
 
-/// Parses one `id \t wkt` line into a geometry record.
+/// Parses one `id \t wkt` line into a geometry record. Compatibility
+/// shim over [`crate::RecordReader`], kept for one release.
 pub fn parse_geom_record(line: &str, geom_col: usize) -> Option<GeomRecord> {
-    let (id, wkt) = split_record(line, geom_col)?;
-    geom::wkt::parse(wkt).ok().map(|g: Geometry| (id, g))
+    crate::RecordReader::new(geom_col).read_geom(line).ok()
 }
 
 /// Parses `id \t wkt` lines into geometry records (right side).
+/// Compatibility shim over [`crate::RecordReader`], kept for one
+/// release.
 pub fn parse_geom_records(lines: &[String], geom_col: usize) -> Vec<GeomRecord> {
-    lines
-        .iter()
-        .filter_map(|l| parse_geom_record(l, geom_col))
-        .collect()
+    crate::RecordReader::new(geom_col).read_geoms(lines).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use geom::engine::{NaiveEngine, PreparedEngine};
-    use geom::Polygon;
+    use geom::{Geometry, Polygon};
 
     fn grid_points(n: usize) -> Vec<PointRecord> {
         let mut v = Vec::new();

@@ -29,6 +29,8 @@ pub mod error;
 pub mod ispmc;
 pub mod join;
 pub mod parallel;
+pub mod reader;
+pub mod request;
 pub mod spark;
 pub mod trajectory;
 
@@ -36,9 +38,12 @@ pub use error::SpatialJoinError;
 pub use geom::engine::SpatialPredicate;
 pub use ispmc::{IspMc, IspMcRun};
 pub use parallel::{
-    morsel_partitions, parallel_broadcast_join, parallel_partitioned_join, partition_blocks,
-    spatial_sort_points, timings_to_taskspecs, MorselConfig, PreparedSet,
+    morsel_partitions, parallel_broadcast_join, parallel_partitioned_join,
+    parallel_partitioned_join_observed, partition_blocks, spatial_sort_points,
+    timings_to_taskspecs, MorselConfig, PreparedSet,
 };
+pub use reader::{RecordError, RecordReader};
+pub use request::{JoinOutcome, JoinRequest, JoinStrategy};
 pub use spark::{SpatialSpark, SpatialSparkRun};
 
 /// A record ready for joining: id plus parsed geometry.

@@ -29,7 +29,10 @@
 //! subset R-tree over envelope *copies* — zero geometry clones
 //! end-to-end.
 
-use cluster::{run_morsels_hinted, run_tasks, ScheduleMode, TaskSpec, TaskTiming};
+use cluster::{
+    run_morsels_hinted, run_morsels_hinted_observed, run_tasks_observed, ScheduleMode, TaskSpec,
+    TaskTiming,
+};
 use geom::engine::{RefinementEngine, SpatialPredicate};
 use geom::{Envelope, HasEnvelope, Point};
 use rtree::{probe_with, RTree};
@@ -328,6 +331,21 @@ impl<E: RefinementEngine> PreparedSet<E> {
         engine: &E,
         cfg: MorselConfig,
     ) -> (Vec<JoinPair>, Vec<TaskTiming>) {
+        let (pairs, timings, exec) = self.par_probe_observed(left, engine, cfg);
+        obs::add_thread(&exec.worker_counters);
+        (pairs, timings)
+    }
+
+    /// [`PreparedSet::par_probe_timed`] returning the pool's
+    /// [`obs::ExecStats`] (scoped-worker counters + per-worker
+    /// busy/wait) instead of folding the counters into the calling
+    /// thread — the collection hook [`crate::JoinRequest`] runs on.
+    pub fn par_probe_observed(
+        &self,
+        left: &[PointRecord],
+        engine: &E,
+        cfg: MorselConfig,
+    ) -> (Vec<JoinPair>, Vec<TaskTiming>, obs::ExecStats) {
         // Locality mode needs the per-morsel hints; the other modes
         // skip the tagging pass entirely.
         let hints = if cfg.mode == ScheduleMode::StaticLocality {
@@ -336,7 +354,7 @@ impl<E: RefinementEngine> PreparedSet<E> {
             Vec::new()
         };
         let morsels: Vec<&[PointRecord]> = left.chunks(cfg.morsel_size.max(1)).collect();
-        run_morsels_hinted(&morsels, &hints, cfg.threads, cfg.mode, |morsel, out| {
+        run_morsels_hinted_observed(&morsels, &hints, cfg.threads, cfg.mode, |morsel, out| {
             self.probe_slice(engine, morsel, out)
         })
     }
@@ -368,7 +386,9 @@ impl<E: RefinementEngine> PreparedSet<E> {
 
 /// The morsel-parallel broadcast join: prepare the right side once,
 /// probe the left side in parallel. Bit-identical to
-/// [`crate::join::broadcast_index_join`] at any thread count.
+/// [`crate::join::broadcast_index_join`] at any thread count. Thin
+/// wrapper over [`crate::JoinRequest`]; use that directly to also get
+/// the run's [`obs::RunStats`].
 pub fn parallel_broadcast_join<E: RefinementEngine>(
     left: &[PointRecord],
     right: &[GeomRecord],
@@ -376,8 +396,11 @@ pub fn parallel_broadcast_join<E: RefinementEngine>(
     engine: &E,
     cfg: MorselConfig,
 ) -> Vec<JoinPair> {
-    let set = PreparedSet::prepare(right, predicate, engine);
-    set.par_probe(left, engine, cfg)
+    crate::JoinRequest::new(left, right, engine)
+        .predicate(predicate)
+        .config(cfg)
+        .run()
+        .pairs
 }
 
 /// The morsel-parallel partitioned join: partitions carry `right_ids`
@@ -392,6 +415,29 @@ pub fn parallel_partitioned_join<E: RefinementEngine>(
     target_points_per_partition: usize,
     cfg: MorselConfig,
 ) -> Vec<JoinPair> {
+    let (pairs, exec) = parallel_partitioned_join_observed(
+        left,
+        right,
+        predicate,
+        engine,
+        target_points_per_partition,
+        cfg,
+    );
+    obs::add_thread(&exec.worker_counters);
+    pairs
+}
+
+/// [`parallel_partitioned_join`] returning the pool's
+/// [`obs::ExecStats`] instead of folding scoped-worker counters into
+/// the calling thread.
+pub fn parallel_partitioned_join_observed<E: RefinementEngine>(
+    left: &[PointRecord],
+    right: &[GeomRecord],
+    predicate: SpatialPredicate,
+    engine: &E,
+    target_points_per_partition: usize,
+    cfg: MorselConfig,
+) -> (Vec<JoinPair>, obs::ExecStats) {
     let set = PreparedSet::prepare(right, predicate, engine);
     let work = partition_work(left, right, predicate, target_points_per_partition);
     let tasks: Vec<&crate::join::PartitionTask> = work
@@ -399,7 +445,7 @@ pub fn parallel_partitioned_join<E: RefinementEngine>(
         .iter()
         .filter(|t| !t.left.is_empty() && !t.right_ids.is_empty())
         .collect();
-    let (per_task, _) = run_tasks(tasks, cfg.threads, cfg.mode, |task| {
+    let (per_task, _, exec) = run_tasks_observed(tasks, cfg.threads, cfg.mode, |task| {
         let subset = set.subset_tree(&task.right_ids);
         let mut out = Vec::new();
         for &(id, p) in &task.left {
@@ -410,7 +456,7 @@ pub fn parallel_partitioned_join<E: RefinementEngine>(
     let mut out: Vec<JoinPair> = per_task.into_iter().flatten().collect();
     out.sort_unstable();
     out.dedup();
-    out
+    (out, exec)
 }
 
 #[cfg(test)]

@@ -1,0 +1,317 @@
+//! The unified join front door.
+//!
+//! The workspace grew ~6 divergent join entry points — serial
+//! broadcast, nearest, nested-loop, partitioned, and the two parallel
+//! variants — each threading predicate/engine/config through its own
+//! signature and none reporting what the executor actually did. A
+//! [`JoinRequest`] replaces them: one builder selects predicate,
+//! strategy and [`MorselConfig`], and [`JoinRequest::run`] returns a
+//! [`JoinOutcome`] carrying both the pairs and an [`obs::RunStats`]
+//! tree collected uniformly (counters via thread-snapshot deltas,
+//! per-worker busy/wait from the pool's observed entry points). The
+//! old entry points survive as thin wrappers, bit-identical to their
+//! pre-redesign outputs.
+
+use geom::engine::{RefinementEngine, SpatialPredicate};
+use geom::Envelope;
+
+use crate::parallel::{parallel_partitioned_join_observed, MorselConfig, PreparedSet};
+use crate::{GeomRecord, JoinPair, PointRecord};
+use cluster::ScheduleMode;
+
+/// Which join algorithm executes the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Index the right side once, probe every left point (the paper's
+    /// broadcast join; morsel-parallel under [`MorselConfig`]).
+    Broadcast,
+    /// The O(|L|·|R|) cross-join-then-filter baseline of §II.
+    NestedLoop,
+    /// Quadtree-partitioned join (the SpatialHadoop strategy):
+    /// partitions become pool tasks.
+    Partitioned {
+        /// Target number of left points per partition cell.
+        target_points_per_partition: usize,
+    },
+}
+
+/// A configured join, ready to run. Construct with
+/// [`JoinRequest::new`], refine with the builder methods, execute with
+/// [`JoinRequest::run`].
+pub struct JoinRequest<'a, E: RefinementEngine> {
+    left: &'a [PointRecord],
+    right: &'a [GeomRecord],
+    engine: &'a E,
+    predicate: SpatialPredicate,
+    strategy: JoinStrategy,
+    cfg: MorselConfig,
+}
+
+/// What a join produced: the matched pairs plus the run's observability
+/// tree.
+pub struct JoinOutcome {
+    /// Matched `(left id, right id)` pairs, in the strategy's canonical
+    /// order (bit-identical to the pre-redesign entry points).
+    pub pairs: Vec<JoinPair>,
+    /// Counters, per-worker accounting and span timings for the run.
+    pub stats: obs::RunStats,
+}
+
+impl<'a, E: RefinementEngine> JoinRequest<'a, E> {
+    /// A broadcast `Within` join on one thread — override with the
+    /// builder methods below.
+    pub fn new(left: &'a [PointRecord], right: &'a [GeomRecord], engine: &'a E) -> Self {
+        JoinRequest {
+            left,
+            right,
+            engine,
+            predicate: SpatialPredicate::Within,
+            strategy: JoinStrategy::Broadcast,
+            cfg: MorselConfig::serial(),
+        }
+    }
+
+    /// Sets the join predicate.
+    pub fn predicate(mut self, predicate: SpatialPredicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Arg-min nearest join: the single nearest right geometry within
+    /// `max_distance` per point (ties to the smaller right id).
+    pub fn nearest(self, max_distance: f64) -> Self {
+        self.predicate(SpatialPredicate::Nearest(max_distance))
+    }
+
+    /// Range nearest join: every right geometry within `max_distance`.
+    pub fn nearest_within(self, max_distance: f64) -> Self {
+        self.predicate(SpatialPredicate::NearestD(max_distance))
+    }
+
+    /// Switches to the nested-loop baseline strategy.
+    pub fn nested_loop(mut self) -> Self {
+        self.strategy = JoinStrategy::NestedLoop;
+        self
+    }
+
+    /// Switches to the partitioned strategy with the given target cell
+    /// size.
+    pub fn partitioned(mut self, target_points_per_partition: usize) -> Self {
+        self.strategy = JoinStrategy::Partitioned {
+            target_points_per_partition,
+        };
+        self
+    }
+
+    /// Sets worker thread count (keeps the current mode/morsel size).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the pool schedule mode.
+    pub fn schedule(mut self, mode: ScheduleMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets left points per morsel.
+    pub fn morsel_size(mut self, morsel_size: usize) -> Self {
+        self.cfg.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// Replaces the whole parallelism configuration.
+    pub fn config(mut self, cfg: MorselConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Executes the join.
+    ///
+    /// Counter collection: a thread-snapshot delta around the run
+    /// captures everything counted on the calling thread (serial and
+    /// inline paths), and the pool's observed entry points hand back
+    /// scoped-worker counters, which are folded into the calling
+    /// thread's cells before the final snapshot — so `stats.counters`
+    /// is exact at any thread count, and an *outer* snapshot delta
+    /// around this call still sees every count exactly once.
+    pub fn run(self) -> JoinOutcome {
+        let before = obs::thread_snapshot();
+        let run_timer = obs::SpanTimer::start("run");
+        let mut stats = obs::RunStats::new(match self.strategy {
+            JoinStrategy::Broadcast => "join:broadcast",
+            JoinStrategy::NestedLoop => "join:nested-loop",
+            JoinStrategy::Partitioned { .. } => "join:partitioned",
+        });
+
+        let pairs = match self.strategy {
+            JoinStrategy::Broadcast => {
+                let prepare_timer = obs::SpanTimer::start("prepare");
+                let set = PreparedSet::prepare(self.right, self.predicate, self.engine);
+                stats.spans.push(prepare_timer.finish());
+                let probe_timer = obs::SpanTimer::start("probe");
+                let (pairs, _, exec) = set.par_probe_observed(self.left, self.engine, self.cfg);
+                stats.spans.push(probe_timer.finish());
+                obs::add_thread(&exec.worker_counters);
+                stats.workers = exec.workers;
+                pairs
+            }
+            JoinStrategy::NestedLoop => {
+                nested_loop_pairs(self.left, self.right, self.predicate, self.engine)
+            }
+            JoinStrategy::Partitioned {
+                target_points_per_partition,
+            } => {
+                let (pairs, exec) = parallel_partitioned_join_observed(
+                    self.left,
+                    self.right,
+                    self.predicate,
+                    self.engine,
+                    target_points_per_partition,
+                    self.cfg,
+                );
+                obs::add_thread(&exec.worker_counters);
+                stats.workers = exec.workers;
+                pairs
+            }
+        };
+
+        stats.spans.push(run_timer.finish());
+        stats.counters = obs::thread_snapshot().minus(&before);
+        JoinOutcome { pairs, stats }
+    }
+}
+
+/// The nested-loop baseline, instrumented: every left×right pair whose
+/// expanded envelope contains the point counts as a filter hit and a
+/// refinement call; accepted pairs count as refine accepts. One obs
+/// flush for the whole join.
+fn nested_loop_pairs<E: RefinementEngine>(
+    left: &[PointRecord],
+    right: &[GeomRecord],
+    predicate: SpatialPredicate,
+    engine: &E,
+) -> Vec<JoinPair> {
+    use geom::HasEnvelope;
+    let radius = predicate.filter_radius();
+    let prepared: Vec<(i64, Envelope, E::Prepared)> = right
+        .iter()
+        .map(|(id, g)| (*id, g.envelope().expanded_by(radius), engine.prepare(g)))
+        .collect();
+    let mut out = Vec::new();
+    let mut candidates: u64 = 0;
+    let mut accepts: u64 = 0;
+    for &(lid, p) in left {
+        for (rid, env, target) in &prepared {
+            if env.contains(p.x, p.y) {
+                candidates += 1;
+                if predicate.eval(engine, p, target) {
+                    accepts += 1;
+                    out.push((lid, *rid));
+                }
+            }
+        }
+    }
+    obs::filter_refine(candidates, accepts);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::engine::PreparedEngine;
+    use geom::{Geometry, Point, Polygon};
+
+    fn grid_points(n: usize) -> Vec<PointRecord> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push((
+                    (i * n + j) as i64,
+                    Point::new(i as f64 + 0.5, j as f64 + 0.5),
+                ));
+            }
+        }
+        v
+    }
+
+    fn quadrant_polys(half: f64) -> Vec<GeomRecord> {
+        let q = |id, x0: f64, y0: f64| {
+            (
+                id,
+                Geometry::Polygon(Polygon::rectangle(Envelope::new(
+                    x0,
+                    y0,
+                    x0 + half,
+                    y0 + half,
+                ))),
+            )
+        };
+        vec![
+            q(0, 0.0, 0.0),
+            q(1, half, 0.0),
+            q(2, 0.0, half),
+            q(3, half, half),
+        ]
+    }
+
+    #[test]
+    fn outcome_carries_pairs_and_stats() {
+        let left = grid_points(10);
+        let right = quadrant_polys(5.0);
+        let engine = PreparedEngine;
+        let outcome = JoinRequest::new(&left, &right, &engine).threads(2).run();
+        assert_eq!(outcome.pairs.len(), 100);
+        assert_eq!(outcome.stats.name, "join:broadcast");
+        // Every emitted pair required at least one refinement call.
+        assert!(outcome.stats.counters.refine_calls >= outcome.pairs.len() as u64);
+        // Within accepts exactly the emitted pairs.
+        assert_eq!(outcome.stats.counters.refine_accepts, 100);
+        assert!(outcome.stats.span("run").is_some());
+        assert!(outcome.stats.span("prepare").is_some());
+        assert!(outcome.stats.span("probe").is_some());
+        assert!(!outcome.stats.workers.is_empty());
+        assert_eq!(outcome.stats.counters.morsels_executed, {
+            let morsels = left.len().div_ceil(crate::parallel::DEFAULT_MORSEL_SIZE);
+            morsels as u64
+        });
+    }
+
+    #[test]
+    fn strategies_agree_and_report_their_names() {
+        let left = grid_points(8);
+        let right = quadrant_polys(4.0);
+        let engine = PreparedEngine;
+        let broadcast = JoinRequest::new(&left, &right, &engine).run();
+        let nested = JoinRequest::new(&left, &right, &engine).nested_loop().run();
+        let parted = JoinRequest::new(&left, &right, &engine)
+            .partitioned(10)
+            .run();
+        assert_eq!(
+            crate::normalize_pairs(broadcast.pairs),
+            crate::normalize_pairs(nested.pairs)
+        );
+        assert_eq!(nested.stats.name, "join:nested-loop");
+        assert_eq!(parted.stats.name, "join:partitioned");
+        assert!(parted.stats.counters.refine_calls > 0);
+    }
+
+    #[test]
+    fn counts_flow_to_outer_snapshot_exactly_once() {
+        let left = grid_points(10);
+        let right = quadrant_polys(5.0);
+        std::thread::spawn(move || {
+            let engine = PreparedEngine;
+            let before = obs::thread_snapshot();
+            let outcome = JoinRequest::new(&left, &right, &engine).threads(3).run();
+            let delta = obs::thread_snapshot().minus(&before);
+            // The outer delta and the reported stats agree: worker
+            // counts were folded in exactly once.
+            assert_eq!(delta, outcome.stats.counters);
+            assert_eq!(delta.refine_accepts, 100);
+        })
+        .join()
+        .unwrap();
+    }
+}

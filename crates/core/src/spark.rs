@@ -20,8 +20,8 @@ use sparklet::{JobReport, SparkConf, SparkContext, StageMetrics};
 use std::time::Instant;
 
 use crate::error::SpatialJoinError;
-use crate::join::{parse_geom_records, parse_point_record};
 use crate::parallel::PreparedSet;
+use crate::reader::RecordReader;
 use crate::JoinPair;
 
 /// The SpatialSpark system: a spark context plus the join driver.
@@ -60,6 +60,12 @@ impl SpatialSparkRun {
     pub fn total_work(&self) -> f64 {
         self.report.total_work()
     }
+
+    /// The run's stage metrics rebased onto the workspace observability
+    /// layer: one `RunStats` child per recorded stage.
+    pub fn run_stats(&self) -> obs::RunStats {
+        self.report.to_run_stats("spatialspark")
+    }
 }
 
 impl SpatialSpark {
@@ -91,12 +97,13 @@ impl SpatialSpark {
     ) -> Result<SpatialSparkRun, SpatialJoinError> {
         self.sc.reset_metrics();
         let engine = FlatEngine;
+        let reader = RecordReader::new(1);
 
         // --- driver side: collect right, prepare once, broadcast ---
         let right_stat = self.sc.dfs().stat(right_path)?;
         let right_lines = self.sc.dfs().read_all_lines(right_path)?;
         let t0 = Instant::now();
-        let right_records = parse_geom_records(&right_lines, 1);
+        let (right_records, _) = reader.read_geoms(&right_lines);
         let set = PreparedSet::prepare(&right_records, predicate, &engine);
         let build_secs = t0.elapsed().as_secs_f64();
         self.sc.record_stage(StageMetrics {
@@ -111,7 +118,9 @@ impl SpatialSpark {
 
         // --- executors: parse left, probe the shared prepared set ---
         let left = self.sc.text_file(left_path)?;
-        let parsed = left.map("map:parse-wkt", |line: &String| parse_point_record(line, 1));
+        let parsed = left.map("map:parse-wkt", move |line: &String| {
+            reader.read_point(line).ok()
+        });
         let set_ref = broadcast.clone();
         let pairs_ds = parsed.flat_map_with("flatMap:rtree-probe+refine", move |rec, out| {
             if let Some((id, p)) = rec {
@@ -159,16 +168,19 @@ impl SpatialSpark {
 
         self.sc.reset_metrics();
         let engine = FlatEngine;
+        let reader = RecordReader::new(1);
         let radius = predicate.filter_radius();
 
         // --- parse left side ---
         let left = self.sc.text_file(left_path)?;
-        let parsed = left.map("map:parse-wkt", |line: &String| parse_point_record(line, 1));
+        let parsed = left.map("map:parse-wkt", move |line: &String| {
+            reader.read_point(line).ok()
+        });
 
         // --- driver: sample + build the STR partitioner ---
         let right_lines = self.sc.dfs().read_all_lines(right_path)?;
         let t0 = Instant::now();
-        let right_records = parse_geom_records(&right_lines, 1);
+        let (right_records, _) = reader.read_geoms(&right_lines);
         let set = PreparedSet::prepare(&right_records, predicate, &engine);
         let all_points: Vec<geom::Point> = parsed
             .collect()

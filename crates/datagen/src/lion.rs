@@ -19,7 +19,9 @@ pub fn polylines(n: usize, seed: u64) -> Vec<LineString> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let start = random_street_origin(&mut rng);
-        let ls = street(&mut rng, start);
+        let Some(ls) = street(&mut rng, start) else {
+            continue;
+        };
         if NYC_EXTENT.contains_envelope(&geom::HasEnvelope::envelope(&ls)) {
             out.push(ls);
         }
@@ -56,7 +58,10 @@ fn random_street_origin(rng: &mut StdRng) -> Point {
     }
 }
 
-fn street(rng: &mut StdRng, start: Point) -> LineString {
+/// One street polyline, or `None` if the coordinate walk degenerates
+/// (the caller draws again — the rejection loop already re-samples for
+/// the extent check).
+fn street(rng: &mut StdRng, start: Point) -> Option<LineString> {
     let vertices = rng.random_range(2..=6usize);
     let length: f64 = rng.random_range(150.0..800.0);
     // Mostly grid-aligned with a small rotation, like Manhattan's grid.
@@ -78,7 +83,7 @@ fn street(rng: &mut StdRng, start: Point) -> LineString {
         coords.push(x);
         coords.push(y);
     }
-    LineString::new(coords).expect("streets have ≥2 vertices")
+    LineString::new(coords).ok()
 }
 
 #[cfg(test)]

@@ -98,7 +98,10 @@ fn block_polygon(rng: &mut StdRng, x0: f64, y0: f64, x1: f64, y1: f64) -> Polygo
     }
     coords.push(x0);
     coords.push(y0);
-    Polygon::from_coords(coords, vec![]).expect("grid cells are valid rings")
+    // Collinear insertions cannot invalidate the ring, but fall back to
+    // the plain rectangle rather than panic if they ever did.
+    Polygon::from_coords(coords, vec![])
+        .unwrap_or_else(|_| Polygon::rectangle(geom::Envelope::new(x0, y0, x1, y1)))
 }
 
 #[cfg(test)]

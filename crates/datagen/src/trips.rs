@@ -16,7 +16,11 @@ use crate::NYC_EXTENT;
 /// Generates `n` trips, deterministically from `seed`.
 pub fn trajectories(n: usize, seed: u64) -> Vec<Trajectory> {
     let mut rng = seeded(seed ^ 0x7472_6970); // "trip"
-    (0..n).map(|_| trip(&mut rng)).collect()
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        out.extend(trip(&mut rng));
+    }
+    out
 }
 
 /// Generates trips as tab-separated records (`id \t wkt \t times`).
@@ -28,7 +32,9 @@ pub fn trip_records(n: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
-fn trip(rng: &mut StdRng) -> Trajectory {
+/// One trip, or `None` in the (theoretical) case where the walk
+/// degenerates — the caller just draws again.
+fn trip(rng: &mut StdRng) -> Option<Trajectory> {
     // Start near one of the taxi hotspots.
     let (cx, cy, spread) = match rng.random_range(0..3u32) {
         0 => (30_000.0, 80_000.0, 4_000.0),
@@ -70,8 +76,8 @@ fn trip(rng: &mut StdRng) -> Trajectory {
         coords.push(y);
         times.push(t);
     }
-    let path = LineString::new(coords).expect("trips have ≥2 samples");
-    Trajectory::new(path, times).expect("times are increasing by construction")
+    let path = LineString::new(coords).ok()?;
+    Trajectory::new(path, times).ok()
 }
 
 #[cfg(test)]

@@ -29,7 +29,11 @@ const MULTI_FRACTION: f64 = 0.30;
 /// Generates `n` ecoregion polygons, deterministically from `seed`.
 pub fn polygons(n: usize, seed: u64) -> Vec<Polygon> {
     let mut rng = seeded(seed ^ 0x7777_6600); // "wwf"
-    (0..n).map(|_| ecoregion(&mut rng)).collect()
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        out.extend(ecoregion(&mut rng));
+    }
+    out
 }
 
 /// Generates ecoregions wrapped as [`Geometry`] records: mostly single
@@ -69,12 +73,18 @@ fn scatter(rng: &mut StdRng, poly: Polygon) -> geom::MultiPolygon {
                 [x, y]
             })
             .collect();
-        out.push(Polygon::from_coords(coords, vec![]).expect("translated blob stays valid"));
+        // A clamped translation can in principle degenerate; drop the
+        // part rather than panic — the multipolygon stays non-empty
+        // because the source blob itself is valid.
+        out.extend(Polygon::from_coords(coords, vec![]).ok());
     }
     geom::MultiPolygon::new(out)
 }
 
-fn ecoregion(rng: &mut StdRng) -> Polygon {
+/// One radial blob, or `None` in the (theoretical) case where clamping
+/// at the world boundary degenerates the ring — the caller just draws
+/// again.
+fn ecoregion(rng: &mut StdRng) -> Option<Polygon> {
     // exp(mu + sigma^2/2) = 279 with sigma = 1 → mu = ln 279 − 0.5.
     let mu = (279.0f64).ln() - 0.5;
     let vertices = (lognormal(rng, mu, 1.0).round() as usize).clamp(MIN_VERTICES, MAX_VERTICES);
@@ -124,7 +134,7 @@ fn ecoregion(rng: &mut StdRng) -> Polygon {
     }
     coords.push(coords[0]);
     coords.push(coords[1]);
-    Polygon::from_coords(coords, vec![]).expect("radial blobs are valid rings")
+    Polygon::from_coords(coords, vec![]).ok()
 }
 
 #[cfg(test)]

@@ -135,14 +135,18 @@ impl RefinementEngine for FlatEngine {
 
     // The predicate paths below run once per surviving candidate pair;
     // keeping them allocation-free is the whole point of the JTS-like
-    // engine (vs the boxed temporaries of [`NaiveEngine`]).
+    // engine (vs the boxed temporaries of [`NaiveEngine`]). Each call
+    // scans every edge of the target, so the edge-visit counter charges
+    // the full vertex count.
     // tidy:alloc-free:start
     fn within(&self, p: Point, target: &Geometry) -> bool {
+        obs::edge_visits(target.num_points() as u64);
         target.contains_point(p)
     }
 
     fn within_distance(&self, p: Point, target: &Geometry, d: f64) -> bool {
         use crate::algorithms::distance::point_within_distance_of_linestring;
+        obs::edge_visits(target.num_points() as u64);
         match target {
             Geometry::LineString(ls) => point_within_distance_of_linestring(p, ls, d),
             Geometry::MultiLineString(ml) => ml
@@ -155,6 +159,7 @@ impl RefinementEngine for FlatEngine {
     }
 
     fn distance(&self, p: Point, target: &Geometry) -> f64 {
+        obs::edge_visits(target.num_points() as u64);
         target.distance_to_point(p)
     }
     // tidy:alloc-free:end
@@ -238,14 +243,17 @@ impl RefinementEngine for NaiveEngine {
     }
 
     fn within(&self, p: Point, target: &Geometry) -> bool {
+        obs::edge_visits(target.num_points() as u64);
         naive::geometry_contains_point(target, p)
     }
 
     fn within_distance(&self, p: Point, target: &Geometry, d: f64) -> bool {
+        obs::edge_visits(target.num_points() as u64);
         naive::geometry_within_distance(target, p, d)
     }
 
     fn distance(&self, p: Point, target: &Geometry) -> f64 {
+        obs::edge_visits(target.num_points() as u64);
         naive::geometry_distance(target, p)
     }
 }

@@ -140,6 +140,11 @@ impl<'a> Parser<'a> {
         }
     }
 
+    // The per-coordinate scanning primitives. Every coordinate of every
+    // record funnels through these, so they must never touch the
+    // allocator; the allocating helpers (`consume`'s error message,
+    // `keyword`'s owned string) live below, outside the region.
+    // tidy:alloc-free:start
     fn at_end(&self) -> bool {
         self.pos >= self.bytes.len()
     }
@@ -154,16 +159,6 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn consume(&mut self, b: u8) -> Result<(), GeomError> {
-        self.skip_ws();
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{}'", b as char)))
-        }
-    }
-
     fn consume_if(&mut self, b: u8) -> bool {
         self.skip_ws();
         if self.peek() == Some(b) {
@@ -172,21 +167,6 @@ impl<'a> Parser<'a> {
         } else {
             false
         }
-    }
-
-    /// Reads the next alphabetic keyword, upper-cased.
-    fn keyword(&mut self) -> Result<String, GeomError> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(self.error("expected a keyword"));
-        }
-        let word = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.error("keyword is not ASCII"))?;
-        Ok(word.to_ascii_uppercase())
     }
 
     /// True (and consumed) when the next keyword is `EMPTY`.
@@ -220,6 +200,32 @@ impl<'a> Parser<'a> {
                 message: "malformed number".into(),
                 offset: start,
             })
+    }
+    // tidy:alloc-free:end
+
+    fn consume(&mut self, b: u8) -> Result<(), GeomError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    /// Reads the next alphabetic keyword, upper-cased.
+    fn keyword(&mut self) -> Result<String, GeomError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a keyword"));
+        }
+        let word = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("keyword is not ASCII"))?;
+        Ok(word.to_ascii_uppercase())
     }
 
     /// `( x y, x y, ... )` — a parenthesised coordinate list, returned flat.

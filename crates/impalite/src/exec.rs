@@ -168,6 +168,45 @@ impl QueryMetrics {
         self.probe_batches.len()
     }
 
+    /// Rebases the measured metrics onto the workspace observability
+    /// layer: one child per fragment (scan, build, probe) carrying its
+    /// measured seconds as spans, with broadcast bytes and row-batch
+    /// counts in the counters. Hot-path counters (filter/refine/node
+    /// visits) are *not* reconstructed here — they accumulate in the
+    /// caller's thread cells while the query runs and belong to the
+    /// snapshot delta the caller takes around [`Impalad::execute`].
+    pub fn to_run_stats(&self) -> obs::RunStats {
+        let mut root = obs::RunStats::new("ispmc");
+        root.counters.bytes_broadcast = self.broadcast_bytes;
+
+        let mut scan = obs::RunStats::new("scan");
+        scan.spans.push(obs::SpanStat::from_secs(
+            "tasks",
+            self.scan_tasks.len() as u64,
+            self.scan_tasks.iter().map(|t| t.cost).sum(),
+        ));
+        root.children.push(scan);
+
+        let mut build = obs::RunStats::new("build");
+        build
+            .spans
+            .push(obs::SpanStat::from_secs("rtree", 1, self.build_secs));
+        root.children.push(build);
+
+        let mut probe = obs::RunStats::new("probe");
+        probe.counters.row_batches = self.probe_batches.len() as u64;
+        probe.spans.push(obs::SpanStat::from_secs(
+            "chunks",
+            self.probe_batches
+                .iter()
+                .map(|b| b.chunk_costs.len() as u64)
+                .sum(),
+            self.probe_batches.iter().map(ProbeBatch::total).sum(),
+        ));
+        root.children.push(probe);
+        root
+    }
+
     /// Total measured CPU seconds (scan + build + probe).
     pub fn total_work(&self) -> f64 {
         self.build_secs
@@ -330,6 +369,8 @@ impl Impalad {
                 }
             }
         }
+
+        obs::row_batches(batch_localities.len() as u64);
 
         // --- Probe: static chunking, naive (GEOS-like) refinement.
         // Each chunk is one morsel handed to the shared morsel driver;
@@ -576,6 +617,28 @@ mod tests {
             .is_err(),
             "grouping by the probe side is unsupported"
         );
+    }
+
+    #[test]
+    fn run_stats_carry_fragment_structure() {
+        let d = daemon();
+        let before = obs::thread_snapshot();
+        let result = d
+            .execute(
+                "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+                 WHERE ST_WITHIN (pnt.geom, poly.geom)",
+            )
+            .unwrap();
+        // The hot-path counters land in this thread's cells (the pool
+        // wrappers fold worker counts back into the caller).
+        let delta = obs::thread_snapshot().minus(&before);
+        assert!(delta.row_batches >= 1);
+        assert!(delta.refine_calls >= result.pairs.len() as u64);
+        let stats = result.metrics.to_run_stats();
+        assert_eq!(stats.name, "ispmc");
+        assert!(stats.child("probe").unwrap().counters.row_batches >= 1);
+        assert!(stats.child("build").unwrap().span("rtree").is_some());
+        assert!(stats.total_counters().bytes_broadcast > 0);
     }
 
     #[test]

@@ -37,13 +37,19 @@ pub fn probe_with<'t, T, E, R>(
 {
     // The hot loop of every join in the workspace: one refinement call
     // per candidate surviving the envelope filter, zero allocation.
+    // Node/candidate/accept counts accumulate in locals and flush
+    // through a single thread-local access per probe.
     // tidy:alloc-free:start
+    let mut candidates: u64 = 0;
+    let mut accepts: u64 = 0;
     if let SpatialPredicate::Nearest(d) = predicate {
         let mut best: Option<(f64, i64)> = None;
-        tree.for_each_within_distance(p, 0.0, |payload| {
+        let nodes = tree.for_each_within_distance(p, 0.0, |payload| {
             let (rid, target) = resolve(payload);
+            candidates += 1;
             let dist = engine.distance(p, target);
             if dist <= d {
+                accepts += 1;
                 let better = match best {
                     None => true,
                     Some((bd, bid)) => dist < bd || (dist == bd && rid < bid),
@@ -56,14 +62,18 @@ pub fn probe_with<'t, T, E, R>(
         if let Some((_, rid)) = best {
             out.push((left_id, rid));
         }
+        obs::probe_counts(nodes, candidates, accepts);
         return;
     }
-    tree.for_each_within_distance(p, 0.0, |payload| {
+    let nodes = tree.for_each_within_distance(p, 0.0, |payload| {
         let (rid, target) = resolve(payload);
+        candidates += 1;
         if predicate.eval(engine, p, target) {
+            accepts += 1;
             out.push((left_id, rid));
         }
     });
+    obs::probe_counts(nodes, candidates, accepts);
     // tidy:alloc-free:end
 }
 

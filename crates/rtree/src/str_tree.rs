@@ -193,22 +193,26 @@ impl<T> RTree<T> {
 
     // tidy:alloc-free:start
     /// Calls `visit` for every item whose envelope lies within `distance`
-    /// of `p` — the filtering step of the `NearestD` joins.
+    /// of `p` — the filtering step of the `NearestD` joins. Returns the
+    /// number of nodes popped; the caller folds it into its own obs
+    /// flush (`probe_with` pays one TLS access per point, not two).
     pub fn for_each_within_distance<'a, F: FnMut(&'a T)>(
         &'a self,
         p: Point,
         distance: f64,
         mut visit: F,
-    ) {
+    ) -> u64 {
         if self.entries.is_empty() {
-            return;
+            return 0;
         }
         let mut stack = [0u32; 64];
         let mut sp = 0;
         stack[sp] = self.root;
         sp += 1;
+        let mut visited: u64 = 0;
         while sp > 0 {
             sp -= 1;
+            visited += 1;
             let node = &self.nodes[stack[sp] as usize];
             if node.env.distance_to_point(p) > distance {
                 continue;
@@ -228,6 +232,7 @@ impl<T> RTree<T> {
                 }
             }
         }
+        visited
     }
     // tidy:alloc-free:end
 

@@ -39,6 +39,29 @@ impl JobReport {
         self.stages.iter().map(|s| s.broadcast_bytes).sum()
     }
 
+    /// Rebases the report onto the workspace observability layer: one
+    /// [`obs::RunStats`] child per stage, the stage's task costs
+    /// aggregated into a `"tasks"` span and its data movement into the
+    /// byte counters. Root-level hot-path counters (filter/refine/edge
+    /// visits) are *not* reconstructed here — they accumulate in the
+    /// caller's thread cells while the job runs and belong to whatever
+    /// snapshot delta the caller takes around it.
+    pub fn to_run_stats(&self, name: &str) -> obs::RunStats {
+        let mut root = obs::RunStats::new(name);
+        for stage in &self.stages {
+            let mut child = obs::RunStats::new(&stage.name);
+            child.spans.push(obs::SpanStat::from_secs(
+                "tasks",
+                stage.tasks.len() as u64,
+                stage.total_work(),
+            ));
+            child.counters.bytes_broadcast = stage.broadcast_bytes;
+            child.counters.bytes_shuffled = stage.shuffle_bytes;
+            root.children.push(child);
+        }
+        root
+    }
+
     /// Replays the job on a simulated cluster: job startup (jar
     /// shipping), then per stage the coordination cost, the data
     /// movement, and the task makespan under `scheduler`.
@@ -78,6 +101,26 @@ mod tests {
             stages: vec![stage("a", &[1.0, 2.0]), stage("b", &[3.0])],
         };
         assert_eq!(report.total_work(), 6.0);
+    }
+
+    #[test]
+    fn run_stats_mirror_stages() {
+        let mut s = stage("map:parse", &[1.0, 2.0]);
+        s.broadcast_bytes = 10;
+        s.shuffle_bytes = 20;
+        let report = JobReport {
+            stages: vec![s, stage("probe", &[0.5])],
+        };
+        let stats = report.to_run_stats("job");
+        assert_eq!(stats.name, "job");
+        assert_eq!(stats.children.len(), 2);
+        let parse = stats.child("map:parse").unwrap();
+        assert_eq!(parse.counters.bytes_broadcast, 10);
+        assert_eq!(parse.counters.bytes_shuffled, 20);
+        let tasks = parse.span("tasks").unwrap();
+        assert_eq!(tasks.count, 2);
+        assert!((tasks.total_secs() - 3.0).abs() < 1e-9);
+        assert_eq!(stats.total_counters().bytes_shuffled, 20);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Tidy fixture: the obs-style thread-local counter bump inside a
+//! marked alloc-free region. Expected: **zero** findings — `Cell`
+//! reads and writes never touch the allocator, so instrumenting hot
+//! loops with the workspace observability counters is legal.
+
+use std::cell::Cell;
+
+thread_local! {
+    static HITS: Cell<u64> = const { Cell::new(0) };
+}
+
+// tidy:alloc-free:start
+pub fn scan(xs: &[f64], limit: f64) -> usize {
+    let mut hits = 0u64;
+    let mut kept = 0usize;
+    for &x in xs {
+        if x < limit {
+            hits += 1;
+            kept += 1;
+        }
+    }
+    // One TLS access per scan, exactly like obs::filter_refine.
+    HITS.with(|c| c.set(c.get() + hits));
+    kept
+}
+// tidy:alloc-free:end

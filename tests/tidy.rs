@@ -72,6 +72,16 @@ fn fixture_alloc_in_region_trips_alloc_free() {
 }
 
 #[test]
+fn fixture_obs_counters_pass_alloc_free() {
+    let rel = "crates/tidy/fixtures/obs_counters.rs";
+    let findings = tidy::checks::alloc_free::check_file(rel, &fixture("obs_counters.rs"));
+    assert!(
+        findings.is_empty(),
+        "obs counter bumps must stay legal inside alloc-free regions: {findings:?}"
+    );
+}
+
+#[test]
 fn fixture_panic_site_trips_the_ratchet() {
     let rel = "crates/tidy/fixtures/panic_site.rs";
     let count = tidy::checks::panics::count_file(&fixture("panic_site.rs"));
