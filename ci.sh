@@ -17,6 +17,13 @@
 #                                 produced and well-formed
 #   7. obs stats artifact         same run's results/BENCH_obs_stats.json
 #                                 carries coherent observability counters
+#   8. chaos / fault tolerance    seeded chaos property suite, run
+#                                 single-test-threaded (injected panics
+#                                 + panic hooks are process-global),
+#                                 then the live fault_tolerance sweep at
+#                                 tiny scale; asserts
+#                                 results/BENCH_fault_tolerance.json is
+#                                 produced and well-formed
 #
 # Exit codes:
 #   0  everything passed
@@ -27,6 +34,7 @@
 #   5  parallel-join equivalence suite failed
 #   6  schedule-mode ablation failed or wrote a malformed artifact
 #   7  obs stats artifact missing or malformed
+#   8  chaos suite failed, or fault-tolerance artifact missing/malformed
 set -u
 
 cd "$(dirname "$0")" || exit 2
@@ -94,6 +102,41 @@ EOF
 else
     grep -q '"bench": "obs_stats"' results/BENCH_obs_stats.json || exit 7
     grep -q '"refine_calls"' results/BENCH_obs_stats.json || exit 7
+fi
+
+echo "ci: chaos property suite (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test -q -p spatialjoin --test chaos || exit 8
+
+echo "ci: live fault-tolerance sweep (tiny scale)"
+rm -f results/BENCH_fault_tolerance.json
+cargo run --release -q -p bench --bin fault_tolerance -- \
+    --scale 0.0002 --right-scale 0.01 --threads 4 || exit 8
+[ -s results/BENCH_fault_tolerance.json ] || {
+    echo "ci: fault-tolerance artifact missing or empty" >&2
+    exit 8
+}
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF' || exit 8
+import json
+d = json.load(open("results/BENCH_fault_tolerance.json"))
+assert d["bench"] == "fault_tolerance", d.get("bench")
+assert len(d["rates"]) >= 3, "expected >= 3 fault rates"
+modes = {r["mode"] for r in d["live"]}
+assert modes == {"spark-recompute", "impala-fail-fast", "pool-retry"}, modes
+for r in d["live"]:
+    # Every completed recovery must have been verified bit-identical.
+    assert not r["completed"] or r["bit_identical"], r
+    assert r["overhead"] > 0, r
+for f in d["checksum_failover"]:
+    assert f["read_ok"], f
+    assert f["blocks_failed_over"] <= f["replicas_corrupted"], f
+assert len(d["replay_model"]["rows"]) == 3
+print("ci: fault-tolerance artifact well-formed")
+EOF
+else
+    grep -q '"bench": "fault_tolerance"' results/BENCH_fault_tolerance.json || exit 8
+    grep -q '"mode": "spark-recompute"' results/BENCH_fault_tolerance.json || exit 8
+    grep -q '"checksum_failover"' results/BENCH_fault_tolerance.json || exit 8
 fi
 
 echo "ci: ok"

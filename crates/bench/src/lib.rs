@@ -288,6 +288,57 @@ pub fn run_ispmc(w: &Workload, exp: Experiment, threads: usize) -> Result<IspMcR
     Ok(sys.spatial_join(lname, rname, exp.predicate())?)
 }
 
+/// Runs an experiment through SpatialSpark with fault injection wired
+/// into every stage: injected executor deaths are recovered live by
+/// lineage recompute on the surviving workers.
+///
+/// # Errors
+/// Propagates run failures; unrecoverable chaos (a partition failing
+/// every recompute round) panics by design and should be caught by the
+/// caller when sweeping aggressive fault rates.
+pub fn run_spark_chaos(
+    w: &Workload,
+    exp: Experiment,
+    threads: usize,
+    chaos: cluster::ChaosConfig,
+) -> Result<SpatialSparkRun, BenchError> {
+    let conf = SparkConf {
+        app_name: format!("spatialspark-chaos:{}", exp.label()),
+        threads,
+        chaos,
+        ..SparkConf::default()
+    };
+    let sys = SpatialSpark::new(conf, w.dfs.clone());
+    Ok(sys.broadcast_spatial_join(exp.left_path(), exp.right_path(), exp.predicate())?)
+}
+
+/// Runs an experiment through ISP-MC with fault injection: any
+/// fragment failure aborts the query with an `Err` (fail-fast, no
+/// partial results) — the caller decides whether to restart.
+///
+/// # Errors
+/// Propagates run failures, including injected fragment failures.
+pub fn run_ispmc_chaos(
+    w: &Workload,
+    exp: Experiment,
+    threads: usize,
+    chaos: cluster::ChaosConfig,
+) -> Result<IspMcRun, BenchError> {
+    let conf = ImpaladConf {
+        threads,
+        chaos,
+        ..ImpaladConf::default()
+    };
+    let (lname, rname) = exp.table_names();
+    let sys = IspMc::new(
+        conf,
+        w.dfs.clone(),
+        (lname, exp.left_path()),
+        (rname, exp.right_path()),
+    );
+    Ok(sys.spatial_join(lname, rname, exp.predicate())?)
+}
+
 /// How measured runs are replayed at paper scale.
 ///
 /// `scale` is the fraction of the paper's point cardinality that was

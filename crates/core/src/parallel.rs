@@ -30,8 +30,8 @@
 //! end-to-end.
 
 use cluster::{
-    run_morsels_hinted, run_morsels_hinted_observed, run_tasks_observed, ScheduleMode, TaskSpec,
-    TaskTiming,
+    run_morsels_faulted, run_morsels_hinted, run_morsels_hinted_observed, run_tasks_observed,
+    Chaos, ChaosSite, RetryPolicy, ScheduleMode, TaskFailure, TaskSpec, TaskTiming,
 };
 use geom::engine::{RefinementEngine, SpatialPredicate};
 use geom::{Envelope, HasEnvelope, Point};
@@ -357,6 +357,52 @@ impl<E: RefinementEngine> PreparedSet<E> {
         run_morsels_hinted_observed(&morsels, &hints, cfg.threads, cfg.mode, |morsel, out| {
             self.probe_slice(engine, morsel, out)
         })
+    }
+
+    /// [`PreparedSet::par_probe_timed`] under fault injection: each
+    /// morsel's panic draw is consulted *after* its output is appended
+    /// (so recovery exercises the partial-segment rollback), and
+    /// panicking morsels are retried in place under `policy` — the
+    /// worker-local bounded re-dispatch recovery mode.
+    ///
+    /// Returns the pairs and timings on full recovery — bit-identical
+    /// to [`PreparedSet::par_probe_timed`] at any thread count — or the
+    /// failures of morsels that exhausted their attempts. A disabled
+    /// injector takes the plain path exactly.
+    pub fn par_probe_faulted(
+        &self,
+        left: &[PointRecord],
+        engine: &E,
+        cfg: MorselConfig,
+        chaos: &Chaos,
+        policy: RetryPolicy,
+    ) -> Result<(Vec<JoinPair>, Vec<TaskTiming>), Vec<TaskFailure>> {
+        if chaos.is_disabled() {
+            return Ok(self.par_probe_timed(left, engine, cfg));
+        }
+        let hints = if cfg.mode == ScheduleMode::StaticLocality {
+            morsel_partitions(left, cfg.morsel_size.max(1), LOCALITY_GRID_SIDE)
+        } else {
+            Vec::new()
+        };
+        let morsels: Vec<&[PointRecord]> = left.chunks(cfg.morsel_size.max(1)).collect();
+        let run = run_morsels_faulted(
+            &morsels,
+            &hints,
+            cfg.threads,
+            cfg.mode,
+            policy,
+            |i, attempt, morsel, out| {
+                self.probe_slice(engine, morsel, out);
+                chaos.inject(ChaosSite::Morsel, i as u64, attempt);
+            },
+        );
+        obs::add_thread(&run.exec.worker_counters);
+        if run.failures.is_empty() {
+            Ok((run.out, run.timings))
+        } else {
+            Err(run.failures)
+        }
     }
 
     /// [`PreparedSet::par_probe_timed`] plus each morsel's dominant
@@ -695,6 +741,100 @@ mod tests {
             assert_eq!(plain, tagged, "{mode:?}");
             assert_eq!(timings.len(), partitions.len(), "{mode:?}");
         }
+    }
+
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    #[test]
+    fn faulted_probe_recovers_bit_identical_to_plain() {
+        let left = grid_points(20);
+        let right = quadrant_polys(10.0);
+        let engine = PreparedEngine;
+        let set = PreparedSet::prepare(&right, SpatialPredicate::Within, &engine);
+        let cfg = MorselConfig {
+            threads: 1,
+            mode: ScheduleMode::Dynamic,
+            morsel_size: 16,
+        };
+        let serial = set.par_probe(&left, &engine, cfg);
+        let n_morsels = left.len().div_ceil(cfg.morsel_size);
+        let policy = cluster::RetryPolicy::attempts(4);
+        // Deterministic draws make "every morsel recovers" a pure
+        // function of the seed — search for one where faults fire but
+        // all clear within the retry budget.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let probe = cluster::Chaos::new(cluster::ChaosConfig::uniform(s, 0.3));
+                let fired =
+                    (0..n_morsels).any(|i| probe.panic_fires(ChaosSite::Morsel, i as u64, 0));
+                let recovers = (0..n_morsels).all(|i| {
+                    (0..policy.max_attempts)
+                        .any(|a| !probe.panic_fires(ChaosSite::Morsel, i as u64, a))
+                });
+                fired && recovers
+            })
+            .expect("some seed recovers");
+        for threads in [1, 2, 7] {
+            let chaos = cluster::Chaos::new(cluster::ChaosConfig::uniform(seed, 0.3));
+            let cfg = MorselConfig { threads, ..cfg };
+            let (pairs, timings) = quiet_panics(|| {
+                set.par_probe_faulted(&left, &engine, cfg, &chaos, policy)
+                    .expect("all morsels recover")
+            });
+            assert_eq!(pairs, serial, "threads={threads}");
+            assert_eq!(timings.len(), n_morsels);
+            assert!(chaos.fault_count() > 0, "faults must actually fire");
+        }
+    }
+
+    #[test]
+    fn faulted_probe_disabled_takes_plain_path() {
+        let left = grid_points(10);
+        let right = quadrant_polys(5.0);
+        let engine = PreparedEngine;
+        let set = PreparedSet::prepare(&right, SpatialPredicate::Within, &engine);
+        let cfg = MorselConfig::new(3);
+        let chaos = cluster::Chaos::disabled();
+        let (pairs, _) = set
+            .par_probe_faulted(&left, &engine, cfg, &chaos, cluster::RetryPolicy::none())
+            .expect("no faults possible");
+        assert_eq!(pairs, set.par_probe(&left, &engine, cfg));
+        assert_eq!(chaos.fault_count(), 0);
+    }
+
+    #[test]
+    fn faulted_probe_reports_exhausted_morsels() {
+        let left = grid_points(12);
+        let right = quadrant_polys(6.0);
+        let engine = PreparedEngine;
+        let set = PreparedSet::prepare(&right, SpatialPredicate::Within, &engine);
+        let cfg = MorselConfig {
+            threads: 2,
+            mode: ScheduleMode::Static,
+            morsel_size: 16,
+        };
+        let chaos = cluster::Chaos::new(cluster::ChaosConfig {
+            panic_rate: 1.0,
+            ..cluster::ChaosConfig::uniform(5, 0.0)
+        });
+        let failures = quiet_panics(|| {
+            set.par_probe_faulted(
+                &left,
+                &engine,
+                cfg,
+                &chaos,
+                cluster::RetryPolicy::attempts(2),
+            )
+        })
+        .expect_err("every attempt panics");
+        assert_eq!(failures.len(), left.len().div_ceil(cfg.morsel_size));
+        assert!(failures.iter().all(|f| f.attempts == 2));
     }
 
     #[test]

@@ -133,9 +133,10 @@ impl Cursor<'_> {
         GeomError::Invalid(format!("binary geometry truncated at byte {}", self.pos))
     }
 
-    // The fixed-width readers run once per coordinate of every decoded
-    // geometry — the per-record cost `benches/representation.rs`
-    // measures — so they must not allocate or panic.
+    // The fixed-width readers and coordinate fill loops run once per
+    // coordinate of every decoded geometry — the per-record shuffle
+    // decode cost `benches/representation.rs` measures — so they must
+    // not allocate or panic; buffers are sized before entering them.
     // tidy:alloc-free:start
     fn u8(&mut self) -> Result<u8, GeomError> {
         let b = *self.bytes.get(self.pos).ok_or_else(|| self.truncated())?;
@@ -166,6 +167,25 @@ impl Cursor<'_> {
         self.pos = end;
         Ok(f64::from_le_bytes(buf))
     }
+
+    // The per-coordinate fill loops: callers reserve capacity up
+    // front, so the loop body itself never grows the buffer.
+    fn fill_coords(&mut self, n: usize, out: &mut Vec<f64>) -> Result<(), GeomError> {
+        for _ in 0..n {
+            out.push(self.f64()?);
+            out.push(self.f64()?);
+        }
+        Ok(())
+    }
+
+    fn fill_points(&mut self, n: usize, out: &mut Vec<Point>) -> Result<(), GeomError> {
+        for _ in 0..n {
+            let x = self.f64()?;
+            let y = self.f64()?;
+            out.push(Point::new(x, y));
+        }
+        Ok(())
+    }
     // tidy:alloc-free:end
 
     fn coords(&mut self) -> Result<Vec<f64>, GeomError> {
@@ -177,10 +197,7 @@ impl Cursor<'_> {
             )));
         }
         let mut out = Vec::with_capacity(n * 2);
-        for _ in 0..n {
-            out.push(self.f64()?);
-            out.push(self.f64()?);
-        }
+        self.fill_coords(n, &mut out)?;
         Ok(out)
     }
 
@@ -209,11 +226,7 @@ impl Cursor<'_> {
             TAG_MULTIPOINT => {
                 let n = self.u32()? as usize;
                 let mut points = Vec::with_capacity(n.min(1 << 20));
-                for _ in 0..n {
-                    let x = self.f64()?;
-                    let y = self.f64()?;
-                    points.push(Point::new(x, y));
-                }
+                self.fill_points(n, &mut points)?;
                 Ok(Geometry::MultiPoint(MultiPoint::new(points)))
             }
             TAG_MULTILINESTRING => {

@@ -13,6 +13,16 @@ pub enum ImpalaError {
     UnknownAlias(String),
     /// The underlying file system failed.
     Dfs(String),
+    /// A plan fragment failed at runtime. Impala has no lineage to
+    /// recompute from — the plan is fixed before execution starts — so
+    /// any fragment failure aborts the whole query; no partial result
+    /// rows are ever returned.
+    FragmentFailed {
+        /// Which fragment died (`"scan"`, `"probe"`, `"read"`).
+        fragment: String,
+        /// The failure message of the fragment's final attempt.
+        message: String,
+    },
 }
 
 impl fmt::Display for ImpalaError {
@@ -24,6 +34,10 @@ impl fmt::Display for ImpalaError {
             ImpalaError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             ImpalaError::UnknownAlias(a) => write!(f, "unknown table alias: {a}"),
             ImpalaError::Dfs(msg) => write!(f, "storage error: {msg}"),
+            ImpalaError::FragmentFailed { fragment, message } => write!(
+                f,
+                "query aborted: {fragment} fragment failed ({message}); no partial results"
+            ),
         }
     }
 }
@@ -52,5 +66,11 @@ mod tests {
         assert!(ImpalaError::UnknownTable("t".into())
             .to_string()
             .contains("t"));
+        let frag = ImpalaError::FragmentFailed {
+            fragment: "probe".into(),
+            message: "worker died".into(),
+        };
+        let text = frag.to_string();
+        assert!(text.contains("probe") && text.contains("no partial results"));
     }
 }

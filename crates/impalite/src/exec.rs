@@ -1,6 +1,9 @@
 //! The backend: fragment execution, row batches, static scheduling.
 
-use cluster::{simulate, ClusterSpec, NetworkModel, ScheduleMode, Scheduler, TaskSpec};
+use cluster::{
+    simulate, Chaos, ChaosConfig, ChaosSite, ClusterSpec, NetworkModel, RetryPolicy, ScheduleMode,
+    Scheduler, TaskFailure, TaskSpec,
+};
 use geom::engine::{NaiveEngine, RefinementEngine};
 use geom::{Geometry, HasEnvelope};
 use minihdfs::MiniDfs;
@@ -22,6 +25,10 @@ pub struct ImpaladConf {
     pub cluster: ClusterSpec,
     /// Network/coordination model (usually [`NetworkModel::ec2_impala`]).
     pub network: NetworkModel,
+    /// Fault injection for the real execution paths. Disabled by
+    /// default; when enabled, any fragment failure aborts the query
+    /// (fail-fast — Impala has no lineage to recompute from).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ImpaladConf {
@@ -32,6 +39,7 @@ impl Default for ImpaladConf {
                 .unwrap_or(4),
             cluster: ClusterSpec::ec2_paper_cluster(),
             network: NetworkModel::ec2_impala(),
+            chaos: ChaosConfig::disabled(),
         }
     }
 }
@@ -240,22 +248,77 @@ fn strip_explain(sql: &str) -> Option<&str> {
     }
 }
 
+/// Total attempts for a DFS read hit by transient faults before the
+/// query gives up and fails fast.
+const MAX_READ_ATTEMPTS: u32 = 3;
+
+/// The fail-fast translation: the first fragment failure becomes the
+/// query's error, partial results are dropped on the floor.
+fn fragment_failed(fragment: &str, failures: &[TaskFailure]) -> ImpalaError {
+    ImpalaError::FragmentFailed {
+        fragment: fragment.into(),
+        message: failures
+            .first()
+            .map(|f| f.message.clone())
+            .unwrap_or_else(|| "unknown fragment failure".into()),
+    }
+}
+
 /// One Impala daemon standing in for the whole backend.
 pub struct Impalad {
     conf: ImpaladConf,
     dfs: MiniDfs,
     catalog: Catalog,
+    chaos: Chaos,
 }
 
 impl Impalad {
     /// Creates a daemon over a file system and catalog.
     pub fn new(conf: ImpaladConf, dfs: MiniDfs, catalog: Catalog) -> Impalad {
-        Impalad { conf, dfs, catalog }
+        let chaos = Chaos::new(conf.chaos);
+        Impalad {
+            conf,
+            dfs,
+            catalog,
+            chaos,
+        }
     }
 
     /// The configuration.
     pub fn conf(&self) -> &ImpaladConf {
         &self.conf
+    }
+
+    /// The daemon's fault injector (for inspecting injected events).
+    pub fn chaos(&self) -> &Chaos {
+        &self.chaos
+    }
+
+    /// Runs a DFS read, retrying attempts the chaos layer fails
+    /// transiently. A fault that persists past [`MAX_READ_ATTEMPTS`]
+    /// aborts the query like any other fragment failure.
+    fn read_retrying<R>(
+        &self,
+        read_id: u64,
+        mut read: impl FnMut() -> Result<R, minihdfs::DfsError>,
+    ) -> Result<R, ImpalaError> {
+        let mut attempt = 0u32;
+        loop {
+            if self.chaos.read_fault_fires(read_id, attempt) {
+                self.chaos.note_read_fault(read_id, attempt);
+                attempt += 1;
+                if attempt >= MAX_READ_ATTEMPTS {
+                    return Err(ImpalaError::FragmentFailed {
+                        fragment: "read".into(),
+                        message: format!(
+                            "transient read fault persisted for {MAX_READ_ATTEMPTS} attempts"
+                        ),
+                    });
+                }
+                continue;
+            }
+            return read().map_err(ImpalaError::from);
+        }
     }
 
     /// The catalog.
@@ -309,7 +372,7 @@ impl Impalad {
         // row batches and parses + builds its own tree; the measured
         // build time below is that per-instance cost.
         let right_stat = self.dfs.stat(&plan.right_path)?;
-        let right_lines = self.dfs.read_all_lines(&plan.right_path)?;
+        let right_lines = self.read_retrying(0, || self.dfs.read_all_lines(&plan.right_path))?;
         let t0 = Instant::now();
         let mut entries: Vec<(geom::Envelope, (i64, Geometry))> = Vec::new();
         for line in &right_lines {
@@ -324,20 +387,41 @@ impl Impalad {
         let build_secs = t0.elapsed().as_secs_f64();
 
         // --- Fragment 1: scan left table into row batches ---
-        let blocks = self.dfs.blocks(&plan.left_path)?;
+        let blocks = self.read_retrying(1, || self.dfs.blocks(&plan.left_path))?;
         let localities: Vec<Option<usize>> = blocks.iter().map(|b| Some(b.primary_node)).collect();
         let geom_col = plan.left_geom_col;
-        let (block_rows, scan_timings) = cluster::run_tasks(
-            blocks,
-            self.conf.threads,
-            ScheduleMode::Static,
-            |block| -> Vec<Row> {
-                block
-                    .lines()
-                    .filter_map(|l| Row::from_line(l, geom_col))
-                    .collect()
-            },
-        );
+        let scan_block = |block: &minihdfs::BlockRef| -> Vec<Row> {
+            block
+                .lines()
+                .filter_map(|l| Row::from_line(l, geom_col))
+                .collect()
+        };
+        let (block_rows, scan_timings) = if self.chaos.is_disabled() {
+            cluster::run_tasks(blocks, self.conf.threads, ScheduleMode::Static, |block| {
+                scan_block(block)
+            })
+        } else {
+            // Fail-fast: any scan task dying aborts the query; Impala
+            // fixes the plan before execution and cannot reschedule.
+            let run = cluster::run_tasks_faulted(
+                &blocks,
+                self.conf.threads,
+                ScheduleMode::Static,
+                RetryPolicy::none(),
+                |i, attempt, block| {
+                    let rows = scan_block(block);
+                    self.chaos.inject(ChaosSite::Fragment, i as u64, attempt);
+                    rows
+                },
+            );
+            obs::add_thread(&run.exec.worker_counters);
+            if !run.failures.is_empty() {
+                return Err(fragment_failed("scan", &run.failures));
+            }
+            let timings = run.timings;
+            let rows: Vec<Vec<Row>> = run.results.into_iter().flatten().collect();
+            (rows, timings)
+        };
         let scan_tasks: Vec<TaskSpec> = scan_timings
             .iter()
             .map(|t| TaskSpec {
@@ -377,30 +461,55 @@ impl Impalad {
         // the WKT parse stays inside the probe so chunk costs keep the
         // parse-per-row semantics the cost model was calibrated on. ---
         let chunk_slices: Vec<&[Row]> = chunks.iter().map(|(rows, _)| rows.as_slice()).collect();
-        let (pairs_flat, probe_timings) = cluster::run_morsels(
-            &chunk_slices,
-            self.conf.threads,
-            ScheduleMode::Static,
-            |rows, out| {
-                for row in rows {
-                    let Ok(g) = geom::wkt::parse(&row.wkt) else {
-                        continue;
-                    };
-                    let Some(p) = g.as_point() else { continue };
-                    // Entry envelopes were expanded by the radius at
-                    // build time; query with radius zero.
-                    rtree::probe_with(
-                        &tree,
-                        predicate,
-                        &engine,
-                        row.id,
-                        p,
-                        |(rid, t)| (*rid, t),
-                        out,
-                    );
-                }
-            },
-        );
+        let probe_chunk = |rows: &[Row], out: &mut Vec<(i64, i64)>| {
+            for row in rows {
+                let Ok(g) = geom::wkt::parse(&row.wkt) else {
+                    continue;
+                };
+                let Some(p) = g.as_point() else { continue };
+                // Entry envelopes were expanded by the radius at
+                // build time; query with radius zero.
+                rtree::probe_with(
+                    &tree,
+                    predicate,
+                    &engine,
+                    row.id,
+                    p,
+                    |(rid, t)| (*rid, t),
+                    out,
+                );
+            }
+        };
+        let (pairs_flat, probe_timings) = if self.chaos.is_disabled() {
+            cluster::run_morsels(
+                &chunk_slices,
+                self.conf.threads,
+                ScheduleMode::Static,
+                probe_chunk,
+            )
+        } else {
+            // Offset the index space so probe chunks draw faults
+            // independently of scan tasks under the same seed.
+            let run = cluster::run_morsels_faulted(
+                &chunk_slices,
+                &[],
+                self.conf.threads,
+                ScheduleMode::Static,
+                RetryPolicy::none(),
+                |i, attempt, rows, out| {
+                    probe_chunk(rows, out);
+                    self.chaos
+                        .inject(ChaosSite::Fragment, (1u64 << 32) | i as u64, attempt);
+                },
+            );
+            obs::add_thread(&run.exec.worker_counters);
+            if !run.failures.is_empty() {
+                // The rolled-back output in `run.out` is dropped here —
+                // a failed query never surfaces partial pairs.
+                return Err(fragment_failed("probe", &run.failures));
+            }
+            (run.out, run.timings)
+        };
         let mut probe_batches: Vec<ProbeBatch> = batch_localities
             .iter()
             .map(|&locality| ProbeBatch {
@@ -639,6 +748,100 @@ mod tests {
         assert!(stats.child("probe").unwrap().counters.row_batches >= 1);
         assert!(stats.child("build").unwrap().span("rtree").is_some());
         assert!(stats.total_counters().bytes_broadcast > 0);
+    }
+
+    /// Suppresses panic-hook output while injected panics fly.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(hook);
+        r
+    }
+
+    fn daemon_with_chaos(chaos: ChaosConfig) -> Impalad {
+        let (dfs, catalog) = fixture();
+        let conf = ImpaladConf {
+            chaos,
+            ..ImpaladConf::default()
+        };
+        Impalad::new(conf, dfs, catalog)
+    }
+
+    const JOIN_SQL: &str = "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly \
+         WHERE ST_WITHIN (pnt.geom, poly.geom)";
+
+    #[test]
+    fn chaos_at_rate_zero_is_bit_identical() {
+        let baseline = daemon().execute(JOIN_SQL).unwrap();
+        // A seeded but all-zero-rate config must take the exact same
+        // path: same pairs in the same order, no faults recorded.
+        let d = daemon_with_chaos(ChaosConfig {
+            seed: 99,
+            ..ChaosConfig::disabled()
+        });
+        let result = d.execute(JOIN_SQL).unwrap();
+        assert_eq!(result.pairs, baseline.pairs);
+        assert_eq!(d.chaos().fault_count(), 0);
+    }
+
+    #[test]
+    fn fragment_failure_fails_fast_with_no_partial_rows() {
+        let d = daemon_with_chaos(ChaosConfig {
+            panic_rate: 1.0,
+            ..ChaosConfig::uniform(7, 0.0)
+        });
+        let err = quiet_panics(|| d.execute(JOIN_SQL)).unwrap_err();
+        // Every fragment attempt dies; the query aborts cleanly with a
+        // typed error and surfaces zero result rows anywhere.
+        match err {
+            ImpalaError::FragmentFailed { fragment, .. } => {
+                assert_eq!(fragment, "scan", "first fragment to die is the scan");
+            }
+            other => panic!("expected FragmentFailed, got {other:?}"),
+        }
+        assert!(d.chaos().fault_count() > 0);
+    }
+
+    #[test]
+    fn persistent_transient_read_faults_abort_the_query() {
+        let d = daemon_with_chaos(ChaosConfig {
+            transient_read_rate: 1.0,
+            ..ChaosConfig::uniform(3, 0.0)
+        });
+        let err = d.execute(JOIN_SQL).unwrap_err();
+        assert!(matches!(
+            err,
+            ImpalaError::FragmentFailed { ref fragment, .. } if fragment == "read"
+        ));
+    }
+
+    #[test]
+    fn recovered_transient_read_is_bit_identical() {
+        let baseline = daemon().execute(JOIN_SQL).unwrap();
+        // Find a seed whose read faults all clear within the retry
+        // budget (and fire at least once), then prove the retried run
+        // returns the exact same pairs.
+        let rate = 0.6;
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let probe = Chaos::new(ChaosConfig {
+                    transient_read_rate: rate,
+                    ..ChaosConfig::uniform(s, 0.0)
+                });
+                let fired = (0..2).any(|id| probe.read_fault_fires(id, 0));
+                let recovers =
+                    (0..2).all(|id| (0..MAX_READ_ATTEMPTS).any(|a| !probe.read_fault_fires(id, a)));
+                fired && recovers
+            })
+            .expect("some seed recovers");
+        let d = daemon_with_chaos(ChaosConfig {
+            transient_read_rate: rate,
+            ..ChaosConfig::uniform(seed, 0.0)
+        });
+        let result = d.execute(JOIN_SQL).unwrap();
+        assert_eq!(result.pairs, baseline.pairs);
+        assert!(d.chaos().fault_count() > 0, "a read fault must have fired");
     }
 
     #[test]

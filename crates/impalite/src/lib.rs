@@ -34,6 +34,9 @@ pub mod sql;
 
 pub use catalog::{Catalog, TableDef};
 pub use error::ImpalaError;
+/// The error a failed query surfaces — every fragment failure under
+/// fault injection aborts with one of these (fail-fast, §III).
+pub use error::ImpalaError as QueryError;
 pub use exec::{Impalad, ImpaladConf, QueryMetrics, QueryResult};
 pub use plan::{ExchangeMode, PhysicalPlan, PlanNode};
 pub use sql::{parse_query, Query};

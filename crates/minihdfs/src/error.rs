@@ -11,6 +11,15 @@ pub enum DfsError {
     AlreadyExists(String),
     /// Invalid configuration (zero datanodes, zero block size, …).
     InvalidConfig(String),
+    /// Every replica of a block failed checksum verification — the
+    /// data is unrecoverable. Reads fail over silently while at least
+    /// one replica still verifies.
+    CorruptBlock {
+        /// Path of the file holding the corrupt block.
+        path: String,
+        /// Index of the block within the file.
+        block: usize,
+    },
 }
 
 impl fmt::Display for DfsError {
@@ -19,6 +28,10 @@ impl fmt::Display for DfsError {
             DfsError::NotFound(p) => write!(f, "no such file: {p}"),
             DfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
             DfsError::InvalidConfig(msg) => write!(f, "invalid DFS configuration: {msg}"),
+            DfsError::CorruptBlock { path, block } => write!(
+                f,
+                "block {block} of {path}: all replicas failed checksum verification"
+            ),
         }
     }
 }

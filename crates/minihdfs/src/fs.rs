@@ -6,15 +6,33 @@ use std::sync::Arc;
 use sync::RwLock;
 
 use crate::bytes::Bytes;
+use crate::checksum::crc32;
 use crate::error::DfsError;
 
-/// One stored block: payload plus placement.
+/// One stored block: payload plus placement plus integrity metadata.
 #[derive(Debug, Clone)]
 struct Block {
     data: Bytes,
     /// Datanodes holding a replica; the first is the primary.
     replicas: Vec<usize>,
     num_records: usize,
+    /// CRC-32 of the payload, written once by `write_lines` and
+    /// verified against each replica's bytes on every read.
+    checksum: u32,
+    /// Per-replica payload override: `None` serves the shared clean
+    /// `data`; `Some` holds bytes that diverged from it (planted by
+    /// [`MiniDfs::corrupt_replica`]) and will fail verification.
+    replica_data: Vec<Option<Bytes>>,
+}
+
+impl Block {
+    /// The bytes replica slot `r` would serve.
+    fn replica_payload(&self, r: usize) -> &Bytes {
+        match self.replica_data.get(r).and_then(|d| d.as_ref()) {
+            Some(bytes) => bytes,
+            None => &self.data,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -161,10 +179,15 @@ impl MiniDfs {
                 return;
             }
             let replicas = self.place_block();
+            let data = Bytes::from(std::mem::take(buf));
+            let checksum = crc32(&data);
+            let replica_slots = replicas.len();
             blocks.push(Block {
-                data: Bytes::from(std::mem::take(buf)),
+                data,
                 replicas,
                 num_records: *records_in_buf,
+                checksum,
+                replica_data: vec![None; replica_slots],
             });
             *records_in_buf = 0;
         };
@@ -253,24 +276,132 @@ impl MiniDfs {
 
     /// All blocks of a file with their placement, in file order.
     ///
+    /// Every block's payload is verified against its stored CRC-32
+    /// before being handed out. A replica that fails verification is
+    /// skipped and the read silently fails over to the next one
+    /// (counted on `obs::blocks_failed_over`); the returned
+    /// [`BlockRef::primary_node`] is the replica that actually served
+    /// the read, so locality hints follow the surviving copy.
+    ///
     /// # Errors
-    /// Fails with [`DfsError::NotFound`] for unknown paths.
+    /// Fails with [`DfsError::NotFound`] for unknown paths and with
+    /// [`DfsError::CorruptBlock`] when *every* replica of some block
+    /// fails verification.
     pub fn blocks(&self, path: &str) -> Result<Vec<BlockRef>, DfsError> {
         let files = self.inner.files.read();
         let f = files
             .get(path)
             .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
-        Ok(f.blocks
-            .iter()
-            .enumerate()
-            .map(|(index, b)| BlockRef {
+        let mut out = Vec::with_capacity(f.blocks.len());
+        for (index, b) in f.blocks.iter().enumerate() {
+            let mut served = None;
+            for r in 0..b.replicas.len() {
+                let payload = b.replica_payload(r);
+                if crc32(payload) == b.checksum {
+                    served = Some((r, payload.clone()));
+                    break;
+                }
+            }
+            let Some((r, data)) = served else {
+                return Err(DfsError::CorruptBlock {
+                    path: path.to_string(),
+                    block: index,
+                });
+            };
+            if r > 0 {
+                obs::block_failed_over();
+            }
+            out.push(BlockRef {
                 index,
-                primary_node: b.replicas[0],
+                primary_node: b.replicas[r],
                 replicas: b.replicas.clone(),
-                data: b.data.clone(),
+                data,
                 num_records: b.num_records,
-            })
-            .collect())
+            });
+        }
+        Ok(out)
+    }
+
+    /// Overwrites replica `replica` of block `block` of `path` with a
+    /// bit-flipped copy of its payload, so subsequent reads of that
+    /// replica fail checksum verification. A test/chaos hook — real
+    /// corruption comes from disk, this one comes from the bench
+    /// driver, but the read path cannot tell the difference.
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::NotFound`] for unknown paths and with
+    /// [`DfsError::InvalidConfig`] for out-of-range block or replica
+    /// indices.
+    pub fn corrupt_replica(
+        &self,
+        path: &str,
+        block: usize,
+        replica: usize,
+    ) -> Result<(), DfsError> {
+        let mut files = self.inner.files.write();
+        let f = files
+            .get_mut(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        let b = f.blocks.get_mut(block).ok_or_else(|| {
+            DfsError::InvalidConfig(format!("block {block} out of range for {path}"))
+        })?;
+        if replica >= b.replicas.len() {
+            return Err(DfsError::InvalidConfig(format!(
+                "replica {replica} out of range for block {block} of {path}"
+            )));
+        }
+        // Flip a byte of the *clean* payload, not whatever the replica
+        // currently serves: corrupting an already-corrupt replica must
+        // leave it corrupt, never accidentally restore it.
+        let mut bad: Vec<u8> = b.data.as_slice().to_vec();
+        match bad.first_mut() {
+            Some(byte) => *byte ^= 0xFF,
+            // A zero-byte payload cannot exist (write_lines never
+            // flushes an empty buffer), but corrupt it anyway by
+            // growing it — the CRC still changes.
+            None => bad.push(0xFF),
+        }
+        b.replica_data[replica] = Some(Bytes::from(bad));
+        Ok(())
+    }
+
+    /// Corrupts every replica of `block`, making it unrecoverable.
+    ///
+    /// # Errors
+    /// Same conditions as [`MiniDfs::corrupt_replica`].
+    pub fn corrupt_block(&self, path: &str, block: usize) -> Result<(), DfsError> {
+        let replicas = {
+            let files = self.inner.files.read();
+            let f = files
+                .get(path)
+                .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+            let b = f.blocks.get(block).ok_or_else(|| {
+                DfsError::InvalidConfig(format!("block {block} out of range for {path}"))
+            })?;
+            b.replicas.len()
+        };
+        for r in 0..replicas {
+            self.corrupt_replica(path, block, r)?;
+        }
+        Ok(())
+    }
+
+    /// Restores every replica of every block of `path` to the clean
+    /// payload (undoes [`MiniDfs::corrupt_replica`]).
+    ///
+    /// # Errors
+    /// Fails with [`DfsError::NotFound`] for unknown paths.
+    pub fn heal(&self, path: &str) -> Result<(), DfsError> {
+        let mut files = self.inner.files.write();
+        let f = files
+            .get_mut(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        for b in &mut f.blocks {
+            for slot in &mut b.replica_data {
+                *slot = None;
+            }
+        }
+        Ok(())
     }
 
     /// Reads the whole file back as owned lines (test / example helper;
@@ -394,6 +525,87 @@ mod tests {
         dfs.write_lines("/b", ["1"]).unwrap();
         dfs.write_lines("/a", ["1"]).unwrap();
         assert_eq!(dfs.list(), vec!["/a".to_string(), "/b".to_string()]);
+    }
+
+    #[test]
+    fn corrupt_primary_fails_over_to_surviving_replica() {
+        let dfs = MiniDfs::with_replication(4, 64, 3).unwrap();
+        let lines: Vec<String> = (0..40).map(|i| format!("row-{i:0>16}")).collect();
+        dfs.write_lines("/f", &lines).unwrap();
+        let clean = dfs.blocks("/f").unwrap();
+        // Corrupt the primary replica of block 0: reads must silently
+        // serve replica 1 with identical bytes and a shifted hint.
+        dfs.corrupt_replica("/f", 0, 0).unwrap();
+        let after = dfs.blocks("/f").unwrap();
+        assert_eq!(after[0].data, clean[0].data);
+        assert_eq!(after[0].primary_node, clean[0].replicas[1]);
+        assert_eq!(dfs.read_all_lines("/f").unwrap(), lines);
+        // Corrupt replica 1 too: replica 2 still serves.
+        dfs.corrupt_replica("/f", 0, 1).unwrap();
+        assert_eq!(dfs.read_all_lines("/f").unwrap(), lines);
+        // All three gone: the read reports the corrupt block.
+        dfs.corrupt_replica("/f", 0, 2).unwrap();
+        assert_eq!(
+            dfs.blocks("/f").unwrap_err(),
+            DfsError::CorruptBlock {
+                path: "/f".into(),
+                block: 0
+            }
+        );
+        // Healing restores the clean payload everywhere.
+        dfs.heal("/f").unwrap();
+        assert_eq!(dfs.read_all_lines("/f").unwrap(), lines);
+        let healed = dfs.blocks("/f").unwrap();
+        assert_eq!(healed[0].primary_node, clean[0].primary_node);
+    }
+
+    #[test]
+    fn corrupt_block_kills_every_replica() {
+        let dfs = MiniDfs::with_replication(3, 64, 2).unwrap();
+        dfs.write_lines("/f", ["payload"]).unwrap();
+        dfs.corrupt_block("/f", 0).unwrap();
+        assert!(matches!(
+            dfs.blocks("/f"),
+            Err(DfsError::CorruptBlock { block: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_hooks_validate_indices() {
+        let dfs = dfs();
+        assert_eq!(
+            dfs.corrupt_replica("/missing", 0, 0),
+            Err(DfsError::NotFound("/missing".into()))
+        );
+        dfs.write_lines("/f", ["x"]).unwrap();
+        assert!(matches!(
+            dfs.corrupt_replica("/f", 9, 0),
+            Err(DfsError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            dfs.corrupt_replica("/f", 0, 5),
+            Err(DfsError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            dfs.corrupt_block("/f", 9),
+            Err(DfsError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn failover_bumps_obs_counter() {
+        std::thread::spawn(|| {
+            let dfs = MiniDfs::with_replication(4, 64, 2).unwrap();
+            dfs.write_lines("/f", ["some data"]).unwrap();
+            let before = obs::thread_snapshot().blocks_failed_over;
+            dfs.blocks("/f").unwrap();
+            assert_eq!(obs::thread_snapshot().blocks_failed_over, before);
+            dfs.corrupt_replica("/f", 0, 0).unwrap();
+            dfs.blocks("/f").unwrap();
+            assert_eq!(obs::thread_snapshot().blocks_failed_over, before + 1);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! of Spark and Impala that the paper targets.
 
 pub mod bytes;
+pub mod checksum;
 pub mod error;
 pub mod fs;
 
 pub use bytes::Bytes;
+pub use checksum::crc32;
 pub use error::DfsError;
 pub use fs::{BlockRef, FileStat, MiniDfs};
 

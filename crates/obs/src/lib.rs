@@ -70,6 +70,16 @@ pub struct Counters {
     pub bytes_broadcast: u64,
     /// Bytes moved all-to-all (shuffle).
     pub bytes_shuffled: u64,
+    /// Faults injected by the chaos layer (panics, corruptions,
+    /// transient errors, straggler delays).
+    pub faults_injected: u64,
+    /// Task/morsel attempts re-dispatched after a captured panic.
+    pub task_retries: u64,
+    /// Block reads served by a non-primary replica after a checksum
+    /// failure on an earlier replica.
+    pub blocks_failed_over: u64,
+    /// Partitions recomputed from lineage after an executor loss.
+    pub partitions_recomputed: u64,
 }
 
 macro_rules! for_each_counter {
@@ -88,6 +98,10 @@ macro_rules! for_each_counter {
         $m!(row_batches);
         $m!(bytes_broadcast);
         $m!(bytes_shuffled);
+        $m!(faults_injected);
+        $m!(task_retries);
+        $m!(blocks_failed_over);
+        $m!(partitions_recomputed);
     };
 }
 
@@ -124,7 +138,7 @@ impl Counters {
     }
 
     /// `(name, value)` pairs in declaration order, for reports.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("filter_hits", self.filter_hits),
             ("refine_calls", self.refine_calls),
@@ -140,6 +154,10 @@ impl Counters {
             ("row_batches", self.row_batches),
             ("bytes_broadcast", self.bytes_broadcast),
             ("bytes_shuffled", self.bytes_shuffled),
+            ("faults_injected", self.faults_injected),
+            ("task_retries", self.task_retries),
+            ("blocks_failed_over", self.blocks_failed_over),
+            ("partitions_recomputed", self.partitions_recomputed),
         ]
     }
 }
@@ -161,6 +179,10 @@ struct CounterCells {
     row_batches: Cell<u64>,
     bytes_broadcast: Cell<u64>,
     bytes_shuffled: Cell<u64>,
+    faults_injected: Cell<u64>,
+    task_retries: Cell<u64>,
+    blocks_failed_over: Cell<u64>,
+    partitions_recomputed: Cell<u64>,
 }
 
 thread_local! {
@@ -180,6 +202,10 @@ thread_local! {
             row_batches: Cell::new(0),
             bytes_broadcast: Cell::new(0),
             bytes_shuffled: Cell::new(0),
+            faults_injected: Cell::new(0),
+            task_retries: Cell::new(0),
+            blocks_failed_over: Cell::new(0),
+            partitions_recomputed: Cell::new(0),
         }
     };
 }
@@ -275,6 +301,31 @@ pub fn bytes_moved(broadcast: u64, shuffled: u64) {
     });
 }
 
+/// Records `n` faults injected by the chaos layer.
+#[inline]
+pub fn faults_injected(n: u64) {
+    CELLS.with(|c| bump(&c.faults_injected, n));
+}
+
+/// Records one task/morsel attempt re-dispatched after a captured
+/// panic.
+#[inline]
+pub fn task_retry() {
+    CELLS.with(|c| bump(&c.task_retries, 1));
+}
+
+/// Records one block read that failed over to a surviving replica.
+#[inline]
+pub fn block_failed_over() {
+    CELLS.with(|c| bump(&c.blocks_failed_over, 1));
+}
+
+/// Records `n` partitions recomputed from lineage.
+#[inline]
+pub fn partitions_recomputed(n: u64) {
+    CELLS.with(|c| bump(&c.partitions_recomputed, n));
+}
+
 /// Reads the calling thread's counters **without** resetting them.
 /// Collectors take a snapshot before and after a region of work and
 /// subtract.
@@ -294,6 +345,10 @@ pub fn thread_snapshot() -> Counters {
         row_batches: c.row_batches.get(),
         bytes_broadcast: c.bytes_broadcast.get(),
         bytes_shuffled: c.bytes_shuffled.get(),
+        faults_injected: c.faults_injected.get(),
+        task_retries: c.task_retries.get(),
+        blocks_failed_over: c.blocks_failed_over.get(),
+        partitions_recomputed: c.partitions_recomputed.get(),
     })
 }
 
@@ -602,6 +657,10 @@ mod tests {
             records(9, 1);
             row_batches(3);
             bytes_moved(100, 200);
+            faults_injected(4);
+            task_retry();
+            block_failed_over();
+            partitions_recomputed(2);
             let snap = thread_snapshot();
             assert_eq!(snap.filter_hits, 5);
             assert_eq!(snap.refine_calls, 5);
@@ -617,6 +676,10 @@ mod tests {
             assert_eq!(snap.row_batches, 3);
             assert_eq!(snap.bytes_broadcast, 100);
             assert_eq!(snap.bytes_shuffled, 200);
+            assert_eq!(snap.faults_injected, 4);
+            assert_eq!(snap.task_retries, 1);
+            assert_eq!(snap.blocks_failed_over, 1);
+            assert_eq!(snap.partitions_recomputed, 2);
             // Snapshot does not reset; take does.
             assert_eq!(thread_snapshot(), snap);
             assert_eq!(take_thread(), snap);

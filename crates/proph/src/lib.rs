@@ -301,12 +301,12 @@ where
         // Failure: shrink the recorded choice stream.
         let (minimal, attempts) = shrink(gen, &prop, stream, cfg.max_shrink);
         let shrunk = replay_value(gen, &minimal);
-        panic!(
+        std::panic::panic_any(format!(
             "property '{name}' failed (case {case}/{}, seed {:#x}).\n\
              original input: {value:?}\n\
              after {attempts} shrink attempts, minimal failing input: {shrunk:?}",
             cfg.cases, cfg.seed,
-        );
+        ));
     }
 }
 

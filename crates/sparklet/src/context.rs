@@ -2,7 +2,10 @@
 
 use std::sync::Arc;
 
-use cluster::{ClusterSpec, NetworkModel, Scheduler, TaskSpec};
+use cluster::{
+    Chaos, ChaosConfig, ChaosSite, ClusterSpec, NetworkModel, RetryPolicy, ScheduleMode, Scheduler,
+    TaskSpec,
+};
 use minihdfs::{DfsError, MiniDfs};
 use sync::Mutex;
 
@@ -23,6 +26,13 @@ pub struct SparkConf {
     pub cluster: ClusterSpec,
     /// Network/coordination cost model for replay.
     pub network: NetworkModel,
+    /// Deterministic fault injection applied to every stage (disabled
+    /// by default). Lost partitions are recomputed from lineage rather
+    /// than failing the job — the paper's §III Spark recovery model.
+    pub chaos: ChaosConfig,
+    /// Bound on lineage-recompute rounds per stage before the job is
+    /// declared unrecoverable.
+    pub max_recompute_rounds: u32,
 }
 
 impl Default for SparkConf {
@@ -35,6 +45,8 @@ impl Default for SparkConf {
             default_parallelism: 16,
             cluster: ClusterSpec::ec2_paper_cluster(),
             network: NetworkModel::ec2_spark(),
+            chaos: ChaosConfig::disabled(),
+            max_recompute_rounds: 8,
         }
     }
 }
@@ -43,6 +55,7 @@ pub(crate) struct CtxInner {
     pub(crate) conf: SparkConf,
     pub(crate) dfs: MiniDfs,
     pub(crate) stages: Mutex<Vec<StageMetrics>>,
+    pub(crate) chaos: Chaos,
 }
 
 /// The driver handle. Cheap to clone; all clones share metrics.
@@ -54,13 +67,21 @@ pub struct SparkContext {
 impl SparkContext {
     /// Creates a context over a file system.
     pub fn new(conf: SparkConf, dfs: MiniDfs) -> SparkContext {
+        let chaos = Chaos::new(conf.chaos);
         SparkContext {
             inner: Arc::new(CtxInner {
                 conf,
                 dfs,
                 stages: Mutex::new(Vec::new()),
+                chaos,
             }),
         }
+    }
+
+    /// The context's fault injector (never fires unless the
+    /// configuration enables it).
+    pub fn chaos(&self) -> &Chaos {
+        &self.inner.chaos
     }
 
     /// The configuration.
@@ -172,23 +193,126 @@ impl SparkContext {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.execute_stage(name, items, localities.to_vec(), f)
+    }
+
+    /// The stage executor behind every transformation. Without chaos it
+    /// is exactly the historical path (plain `run_tasks`, bit-identical
+    /// output). With chaos enabled, tasks run under panic capture and
+    /// any partition lost to an injected executor death is recomputed
+    /// from lineage in a follow-up round on the surviving workers —
+    /// live, mid-job, without restarting the stage's completed tasks.
+    pub(crate) fn execute_stage<T, R, F>(
+        &self,
+        name: &str,
+        items: Vec<T>,
+        localities: Vec<Option<usize>>,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let threads = self.inner.conf.threads;
-        let (results, timings) =
-            cluster::run_tasks(items, threads, cluster::ScheduleMode::Dynamic, f);
-        let tasks: Vec<TaskSpec> = timings
-            .iter()
-            .map(|t| TaskSpec {
-                cost: t.secs,
-                locality: localities.get(t.index).copied().flatten(),
-            })
-            .collect();
-        self.record_stage(StageMetrics {
-            name: name.into(),
-            tasks,
-            broadcast_bytes: 0,
-            shuffle_bytes: 0,
-        });
-        results
+        if self.inner.chaos.is_disabled() {
+            let (results, timings) = cluster::run_tasks(items, threads, ScheduleMode::Dynamic, f);
+            let tasks: Vec<TaskSpec> = timings
+                .iter()
+                .map(|t| TaskSpec {
+                    cost: t.secs,
+                    locality: localities.get(t.index).copied().flatten(),
+                })
+                .collect();
+            self.record_stage(StageMetrics {
+                name: name.into(),
+                tasks,
+                broadcast_bytes: 0,
+                shuffle_bytes: 0,
+            });
+            return results;
+        }
+
+        let threads = threads.max(1);
+        let chaos = &self.inner.chaos;
+        let n = items.len();
+        // Stage ordinal keys the fault draws: unique per stage within a
+        // job, deterministic across runs of the same job and seed.
+        let stage_ord = self.inner.stages.lock().len() as u64;
+        let stage_key = stage_ord << 32;
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut round: u32 = 0;
+        loop {
+            // Recompute rounds run on one fewer worker — the "executor"
+            // that died is gone; its tasks re-run on the survivors.
+            let alive = if round == 0 {
+                threads
+            } else {
+                threads.saturating_sub(1).max(1)
+            };
+            let run = cluster::run_tasks_faulted(
+                &pending,
+                alive,
+                ScheduleMode::Dynamic,
+                RetryPolicy::none(),
+                |_, _, &i| {
+                    let r = f(&items[i]);
+                    // Inject *after* the work: a lost executor has done
+                    // (and lost) its computation, so recovery pays the
+                    // full recompute cost.
+                    chaos.inject(ChaosSite::Task, stage_key | i as u64, round);
+                    r
+                },
+            );
+            // Fold scoped-worker counters (fault injections, hot-path
+            // counts) into the caller's cells, like the plain path does.
+            obs::add_thread(&run.exec.worker_counters);
+            let tasks: Vec<TaskSpec> = run
+                .timings
+                .iter()
+                .map(|t| TaskSpec {
+                    cost: t.secs,
+                    locality: localities.get(pending[t.index]).copied().flatten(),
+                })
+                .collect();
+            let stage_name = if round == 0 {
+                name.to_string()
+            } else {
+                format!("recompute:{name}")
+            };
+            self.record_stage(StageMetrics {
+                name: stage_name,
+                tasks,
+                broadcast_bytes: 0,
+                shuffle_bytes: 0,
+            });
+            let failed: Vec<usize> = run.failures.iter().map(|fl| pending[fl.index]).collect();
+            let first_message = run
+                .failures
+                .first()
+                .map(|fl| fl.message.as_str().to_string());
+            for (pos, r) in run.results.into_iter().enumerate() {
+                if r.is_some() {
+                    slots[pending[pos]] = r;
+                }
+            }
+            if failed.is_empty() {
+                break;
+            }
+            round += 1;
+            if round > self.inner.conf.max_recompute_rounds {
+                let message = first_message.unwrap_or_default();
+                std::panic::panic_any(format!(
+                    "stage '{name}': {} partition(s) unrecoverable after {round} rounds \
+                     (last failure: {message})",
+                    failed.len()
+                ));
+            }
+            obs::partitions_recomputed(failed.len() as u64);
+            pending = failed;
+        }
+        slots.into_iter().flatten().collect()
     }
 }
 
@@ -244,6 +368,53 @@ mod tests {
         assert!(t1 > 0.0 && t10 > 0.0);
         // Tiny job: 10 nodes pay more startup than they save.
         assert!(t10 > t1 * 0.5);
+    }
+
+    #[test]
+    fn chaos_recompute_recovers_bit_identical_output() {
+        let fault_free = {
+            let c = ctx();
+            c.parallelize((0..500i64).collect(), 25)
+                .map("x2", |x| x * 2)
+                .collect()
+        };
+        let conf = SparkConf {
+            chaos: ChaosConfig::uniform(1234, 0.3),
+            ..SparkConf::default()
+        };
+        let c = SparkContext::new(conf, MiniDfs::new(4, 256).unwrap());
+        // Suppress the expected injected-panic spew from the default hook.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = c
+            .parallelize((0..500i64).collect(), 25)
+            .map("x2", |x| x * 2)
+            .collect();
+        std::panic::set_hook(hook);
+        assert_eq!(out, fault_free, "recovered run must be bit-identical");
+        assert!(
+            c.chaos().fault_count() > 0,
+            "rate 0.3 must inject something"
+        );
+        let report = c.job_report();
+        assert!(
+            report
+                .stages
+                .iter()
+                .any(|s| s.name.starts_with("recompute:")),
+            "lost partitions must surface as recompute stages"
+        );
+    }
+
+    #[test]
+    fn chaos_disabled_leaves_metrics_untouched() {
+        let c = ctx();
+        assert!(c.chaos().is_disabled());
+        let _ = c.parallelize((0..10i32).collect(), 2).map("id", |&x| x);
+        let report = c.job_report();
+        assert_eq!(report.stages.len(), 1);
+        assert!(!report.stages[0].name.starts_with("recompute:"));
+        assert_eq!(c.chaos().fault_count(), 0);
     }
 
     #[test]

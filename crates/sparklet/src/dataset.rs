@@ -1,9 +1,6 @@
 //! Partitioned datasets and their transformations.
 
-use cluster::{ScheduleMode, TaskSpec};
-
 use crate::context::SparkContext;
-use crate::metrics::StageMetrics;
 
 /// One partition of a dataset, with its preferred node if the data came
 /// from a DFS block.
@@ -63,22 +60,9 @@ impl<T: Send + Sync> Dataset<T> {
         F: Fn(&[T]) -> Vec<U> + Sync,
     {
         let inputs: Vec<&[T]> = self.partitions.iter().map(|p| p.data.as_slice()).collect();
-        let threads = self.ctx.conf().threads;
-        let (outputs, timings) =
-            cluster::run_tasks(inputs, threads, ScheduleMode::Dynamic, |part| f(part));
-        let tasks: Vec<TaskSpec> = timings
-            .iter()
-            .map(|t| TaskSpec {
-                cost: t.secs,
-                locality: self.partitions[t.index].locality,
-            })
-            .collect();
-        self.ctx.record_stage(StageMetrics {
-            name: name.into(),
-            tasks,
-            broadcast_bytes: 0,
-            shuffle_bytes: 0,
-        });
+        let outputs = self
+            .ctx
+            .execute_stage(name, inputs, self.localities(), |part| f(part));
         let partitions = outputs
             .into_iter()
             .zip(&self.partitions)
@@ -105,26 +89,12 @@ impl<T: Send + Sync> Dataset<T> {
             .enumerate()
             .map(|(i, p)| (i, p.data.as_slice()))
             .collect();
-        let threads = self.ctx.conf().threads;
-        let (outputs, timings) = cluster::run_tasks(
+        let outputs = self.ctx.execute_stage(
+            name,
             inputs,
-            threads,
-            ScheduleMode::Dynamic,
+            self.localities(),
             |(pi, part): &(usize, &[T])| f(*pi, part),
         );
-        let tasks: Vec<TaskSpec> = timings
-            .iter()
-            .map(|t| TaskSpec {
-                cost: t.secs,
-                locality: self.partitions[t.index].locality,
-            })
-            .collect();
-        self.ctx.record_stage(StageMetrics {
-            name: name.into(),
-            tasks,
-            broadcast_bytes: 0,
-            shuffle_bytes: 0,
-        });
         let partitions = outputs
             .into_iter()
             .zip(&self.partitions)
@@ -203,11 +173,10 @@ impl<T: Send + Sync> Dataset<T> {
             .enumerate()
             .map(|(i, p)| (i, p.data.as_slice()))
             .collect();
-        let threads = self.ctx.conf().threads;
-        let (outputs, timings) = cluster::run_tasks(
+        let outputs = self.ctx.execute_stage(
+            "zipWithIndex",
             inputs,
-            threads,
-            ScheduleMode::Dynamic,
+            self.localities(),
             |(pi, part): &(usize, &[T])| {
                 part.iter()
                     .enumerate()
@@ -215,19 +184,6 @@ impl<T: Send + Sync> Dataset<T> {
                     .collect::<Vec<_>>()
             },
         );
-        let tasks = timings
-            .iter()
-            .map(|t| TaskSpec {
-                cost: t.secs,
-                locality: self.partitions[t.index].locality,
-            })
-            .collect();
-        self.ctx.record_stage(StageMetrics {
-            name: "zipWithIndex".into(),
-            tasks,
-            broadcast_bytes: 0,
-            shuffle_bytes: 0,
-        });
         let partitions = outputs
             .into_iter()
             .zip(&self.partitions)
